@@ -1,0 +1,7 @@
+"""Shared benchmark helpers."""
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its
+    result (the measurements are deterministic; repetition is waste)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Every benchmark is deterministic: the interpreter's cost model counts
+abstract cycles, so the paper-shape assertions hold on every run;
+pytest-benchmark additionally reports the wall-clock time of the
+measured runs.  Heavy measurements are cached at module scope so a
+table's rows are computed once per session.
+"""
+
+
+def pytest_configure(config):
+    # keep benchmark runs single-shot: the measurements themselves are
+    # deterministic, re-running them only costs wall time
+    config.option.benchmark_min_rounds = 1
+    config.option.benchmark_warmup = False

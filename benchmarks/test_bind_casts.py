@@ -1,0 +1,86 @@
+"""E6 — the bind cast statistics of Section 5.
+
+The paper: "CCured's qualifier inference classifies 30% of the
+pointers in bind's unmodified source as WILD as a result of 530 bad
+casts that could not be statically verified.  (bind has a total of
+82000 casts of which 26500 are upcasts handled by physical subtyping.)
+Once we turn on the use of RTTI, 150 of the bad casts (28%) proved to
+be downcasts that can be checked at run time.  We instructed CCured to
+trust the remaining 380 bad casts ... A security code review of bind
+should start with these 380 casts."
+
+The same three-step story on the bind-like workload:
+
+1. original CCured (no physical subtyping, no RTTI): many pointers
+   WILD;
+2. +physical subtyping: upcasts verified, some WILD remains;
+3. +RTTI +trusted remainder: no WILD at all, a short list of trusted
+   casts for the security review.
+"""
+
+from benchutil import run_once
+
+from repro.bench import run_workload
+from repro.core import CureOptions
+from repro.workloads import get
+
+_cache = {}
+
+
+def _measure():
+    if not _cache:
+        w = get("bind_like")
+        _cache["original"] = run_workload(
+            w, tools=(), options=CureOptions(
+                use_physical=False, use_rtti=False,
+                trust_bad_casts=False))
+        _cache["physical"] = run_workload(
+            w, tools=(), options=CureOptions(
+                use_physical=True, use_rtti=False,
+                trust_bad_casts=False))
+        _cache["full"] = run_workload(
+            w, tools=("ccured",), options=CureOptions(
+                use_physical=True, use_rtti=True,
+                trust_bad_casts=True))
+    return _cache
+
+
+def test_original_ccured_wilds_bind(benchmark):
+    rows = run_once(benchmark, _measure)
+    # paper: 30% WILD under the original inference.
+    assert rows["original"].kind_pct["wild"] >= 0.25
+
+
+def test_physical_subtyping_helps(benchmark):
+    rows = run_once(benchmark, _measure)
+    assert rows["physical"].kind_pct["wild"] <= \
+        rows["original"].kind_pct["wild"]
+
+
+def test_full_config_eliminates_wild(benchmark):
+    rows = run_once(benchmark, _measure)
+    full = rows["full"]
+    assert full.kind_pct["wild"] == 0.0
+    # the review list: the trusted casts (paper: 380 for real bind)
+    assert full.trusted_casts >= 1
+    print(f"\nbind-like: original wild="
+          f"{rows['original'].kind_pct['wild']:.0%}, "
+          f"physical wild={rows['physical'].kind_pct['wild']:.0%}, "
+          f"full wild=0% with {full.trusted_casts} trusted casts "
+          f"(paper: 30% -> 0% with 380 trusted)")
+
+
+def test_census_has_upcasts_and_downcasts(benchmark):
+    rows = run_once(benchmark, _measure)
+    c = rows["full"].census
+    # bind's census: plenty of upcasts (26500/82000) and a recoverable
+    # downcast slice (150/530).
+    assert c["upcast"] > 0.0
+    assert c["downcast"] > 0.0
+
+
+def test_full_config_runs_and_performs(benchmark):
+    rows = run_once(benchmark, _measure)
+    full = rows["full"]
+    # Fig. 9: bind overhead "ranged from 10% to 80%".
+    assert 1.0 <= full.ccured_ratio <= 2.0

@@ -1,0 +1,91 @@
+"""Ablation — static check elimination.
+
+The paper's comparison with Purify rests on this capability: "without
+the source code and the type information it contains, Purify cannot
+statically remove checks as CCured does."  Three layers of static
+removal are measured here:
+
+1. kind-based elimination (the big one): SAFE pointers need only a
+   null check and unconstrained accesses need none — measured as the
+   gap between CCured and the check-everything tools (see
+   test_spec_overhead.py);
+2. constant-index elimination: in-range constant array indices carry
+   no run-time check at all;
+3. locally-redundant-check elimination: repeated identical checks in
+   straight-line code are dropped (``repro.core.optimize``).
+"""
+
+from benchutil import run_once
+
+from repro.bench import run_workload
+from repro.cil.stmt import CheckKind
+from repro.core import CureOptions, cure
+from repro.interp import run_cured
+from repro.workloads import get
+
+STRUCT_HEAVY = r'''
+struct point { int x; int y; int z; };
+int main(void) {
+  struct point pts[8];
+  struct point *p = pts;
+  int i;
+  long total = 0;
+  for (i = 0; i < 8; i++) {
+    p[i].x = i;
+    p[i].y = i * 2;
+    p[i].z = p[i].x + p[i].y;      /* repeated derefs of p+i */
+    total += p[i].x * p[i].y + p[i].z;
+  }
+  return (int)(total % 97);
+}
+'''
+
+
+def test_redundant_elimination_removes_checks(benchmark):
+    def measure():
+        opt = cure(STRUCT_HEAVY, name="opt")
+        noopt = cure(STRUCT_HEAVY, name="noopt",
+                     options=CureOptions(optimize_checks=False))
+        r_opt = run_cured(opt)
+        r_noopt = run_cured(noopt)
+        return opt, r_opt, r_noopt
+
+    opt, r_opt, r_noopt = run_once(benchmark, measure)
+    assert opt.checks_removed > 0
+    assert r_opt.status == r_noopt.status
+    assert r_opt.cycles < r_noopt.cycles
+    print(f"\n  redundant-check elimination: {opt.checks_removed} "
+          f"checks removed statically, "
+          f"{1 - r_opt.cycles / r_noopt.cycles:.1%} fewer cycles")
+
+
+def test_constant_indices_checked_statically(benchmark):
+    src = """
+    int main(void) {
+      int a[4];
+      a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+      return a[0] + a[3];
+    }
+    """
+
+    def measure():
+        return cure(src, name="static_idx")
+
+    cured = run_once(benchmark, measure)
+    assert CheckKind.INDEX not in cured.check_counts
+
+
+def test_elimination_on_workloads_is_sound(benchmark):
+    """The optimized and unoptimized instrumentations behave
+    identically on a full workload."""
+    def measure():
+        w = get("olden_bisort")
+        r_opt = run_workload(w, tools=("ccured",))
+        r_no = run_workload(w, tools=("ccured",),
+                            options=CureOptions(
+                                optimize_checks=False))
+        return r_opt, r_no
+
+    r_opt, r_no = run_once(benchmark, measure)
+    assert r_opt.ccured.status == r_no.ccured.status
+    assert r_opt.ccured.cycles <= r_no.ccured.cycles

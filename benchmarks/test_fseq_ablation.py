@@ -1,0 +1,76 @@
+"""Ablation — the FSEQ pointer kind.
+
+The CCured implementation (beyond the paper's Figure 1) adds FSEQ:
+forward-only sequence pointers represented as two words (``p``, ``e``)
+with a single upper-bound compare.  This ablation measures what FSEQ
+buys on the string/scan-heavy workloads where most sequences only move
+forward: cured cycles drop, behaviour is unchanged, and the SEQ share
+of declarations migrates to FSEQ.
+"""
+
+from benchutil import run_once
+
+from repro.bench import run_workload
+from repro.core import CureOptions
+from repro.workloads import get
+
+SCAN_HEAVY = ["ptrdist_anagram", "ftpd", "spec_compress"]
+
+_cache = {}
+
+
+def _pair(name):
+    if name not in _cache:
+        w = get(name)
+        scale = {"spec_compress": 3}.get(name)
+        base = run_workload(w, tools=("ccured",), scale=scale)
+        fseq = run_workload(
+            w, tools=("ccured",), scale=scale,
+            options=CureOptions(use_fseq=True,
+                                trust_bad_casts=w.trust_bad_casts))
+        return _cache.setdefault(name, (base, fseq))
+    return _cache[name]
+
+
+def test_fseq_reduces_overhead(benchmark):
+    def measure():
+        return {n: _pair(n) for n in SCAN_HEAVY}
+
+    pairs = run_once(benchmark, measure)
+    print()
+    for name, (base, fseq) in pairs.items():
+        saving = 1 - fseq.ccured.cycles / base.ccured.cycles
+        print(f"  {name}: SEQ-only {base.ccured_ratio:.2f}x -> "
+              f"with FSEQ {fseq.ccured_ratio:.2f}x "
+              f"({saving:+.1%} cured cycles)")
+        assert fseq.ccured.cycles <= base.ccured.cycles, name
+        assert fseq.ccured.status == base.ccured.status, name
+
+
+def test_fseq_population_shifts(benchmark):
+    def measure():
+        return _pair("ptrdist_anagram")
+
+    base, fseq = run_once(benchmark, measure)
+    assert base.kind_pct.get("fseq", 0.0) == 0.0
+    assert fseq.kind_pct.get("fseq", 0.0) > 0.0
+    assert fseq.kind_pct["seq"] < base.kind_pct["seq"]
+
+
+def test_fseq_preserves_safety(benchmark):
+    """FSEQ still catches the overrun the workload suite's exploit
+    depends on."""
+    from repro.interp import run_cured
+    from repro.runtime.checks import MemorySafetyError
+
+    def measure():
+        w = get("ftpd")
+        cured = w.cure(options=CureOptions(use_fseq=True))
+        try:
+            run_cured(cured, stdin=w.attack_stdin)
+            return None
+        except MemorySafetyError as exc:
+            return exc
+
+    exc = run_once(benchmark, measure)
+    assert exc is not None

@@ -1,0 +1,107 @@
+"""E7 — the compatible (split) representation experiments of
+Section 5.
+
+The paper: "To determine the overhead of our compatible
+representation, we ran the olden, ptrdist, and ijpeg tests with all
+types split.  In most cases, the overhead was negligible (less than 3%
+slowdown); however ... em3d was slowed down by 58%, and anagram by 7%.
+...  it is important to minimize the number of split types used, which
+can be achieved by applying our inference algorithm."  And for the
+real programs: bind needed 6% split pointers (31% of those with a
+metadata pointer), OpenSSH less than 1%.
+"""
+
+from benchutil import run_once
+
+from repro.bench import run_workload
+from repro.core import CureOptions
+from repro.workloads import get
+
+SPLIT_SUITE = ["olden_bisort", "olden_em3d", "ptrdist_anagram"]
+
+_cache = {}
+
+
+def _pair(name: str):
+    if name not in _cache:
+        w = get(name)
+        plain = run_workload(w, tools=("ccured",))
+        split = run_workload(w, tools=("ccured",),
+                             options=CureOptions(all_split=True))
+        _cache[name] = (plain, split)
+    return _cache[name]
+
+
+def test_all_split_costs_extra(benchmark):
+    def measure():
+        return {n: _pair(n) for n in SPLIT_SUITE}
+
+    pairs = run_once(benchmark, measure)
+    print()
+    for name, (plain, split) in pairs.items():
+        extra = split.ccured.cycles / plain.ccured.cycles - 1.0
+        print(f"  {name}: all-split adds {extra:+.1%}")
+        assert split.ccured.cycles >= plain.ccured.cycles
+        # nothing pathological: the paper's worst case was +58%
+        assert extra <= 0.80, (name, extra)
+
+
+def test_em3d_is_the_outlier(benchmark):
+    """em3d's hot loop dereferences pointer arrays, so parallel
+    metadata hurts it the most (paper: +58% vs +7% for anagram)."""
+    def measure():
+        out = {}
+        for n in SPLIT_SUITE:
+            plain, split = _pair(n)
+            out[n] = split.ccured.cycles / plain.ccured.cycles - 1.0
+        return out
+
+    extras = run_once(benchmark, measure)
+    assert extras["olden_em3d"] >= extras["olden_bisort"]
+    assert extras["olden_em3d"] >= extras["ptrdist_anagram"]
+
+
+def test_inference_keeps_split_fraction_small(benchmark):
+    """With the inference (no annotations), the daemons need only a
+    small fraction of split pointers (paper: bind 6%, OpenSSH <1%)."""
+    def measure():
+        ssh = run_workload(get("openssh_like"), tools=())
+        bind = run_workload(get("bind_like"), tools=())
+        return ssh, bind
+
+    ssh, bind = run_once(benchmark, measure)
+    print(f"\n  openssh-like: {ssh.split_fraction:.1%} split "
+          f"(paper: <1%); bind-like: {bind.split_fraction:.1%} "
+          f"(paper: 6%)")
+    assert ssh.split_fraction <= 0.25
+    assert bind.split_fraction <= 0.25
+
+
+def test_split_enables_gethostbyname(benchmark):
+    """The hostent experiment of Section 4.2: with split metadata the
+    cured program uses the library's data in place — no deep copies,
+    no wrapper."""
+    from repro.core import cure
+    from repro.interp import run_cured
+
+    src = """
+    #include <string.h>
+    struct hostent { char *h_name; char **h_aliases;
+                     int h_addrtype; };
+    extern struct hostent *gethostbyname(const char *name);
+    int main(void) {
+      struct hostent *he = gethostbyname("bench.example.org");
+      char *p = he->h_name;
+      int n = 0;
+      while (*p != 0) { n++; p = p + 1; }
+      return n;
+    }
+    """
+
+    def measure():
+        cured = cure(src, name="hostent_bench")
+        return cured, run_cured(cured)
+
+    cured, res = run_once(benchmark, measure)
+    assert res.status == len("bench.example.org")
+    assert cured.split_result.split_nodes > 0

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare CCured against Purify-like and Valgrind-like checkers.
+
+Reproduces the comparison of Section 5 on a few workloads: CCured's
+static analysis removes most checks, so its overhead is a fraction,
+while the binary instrumentation tools pay factors — and still miss
+the stack errors CCured catches.
+
+Run:  python examples/compare_tools.py
+"""
+
+from repro.baselines import (BaselineViolation, PurifyChecker,
+                             ValgrindChecker)
+from repro.bench import overhead_table, run_workload
+from repro.frontend import parse_program
+from repro.interp import run_cured, run_raw
+from repro.runtime.checks import MemorySafetyError
+from repro.core import cure
+from repro.workloads import get
+
+STACK_BUG = """
+int main(void) {
+  int a[4];
+  int b[4];
+  int i = 5;
+  a[i] = 99;      /* lands inside b */
+  return 0;
+}
+"""
+
+
+def main() -> None:
+    print("=" * 64)
+    print("1. Overhead comparison (deterministic cycle counts)")
+    print("=" * 64)
+    rows = []
+    for name in ("olden_bisort", "ptrdist_anagram", "spec_go"):
+        rows.append(run_workload(
+            get(name), tools=("ccured", "purify", "valgrind")))
+    print(overhead_table(rows, "workload overheads vs. uncured"))
+    print()
+    print("paper's bands: CCured +7..56%, Purify 25-100x, "
+          "Valgrind 9-130x")
+
+    print()
+    print("=" * 64)
+    print("2. Detection comparison: out-of-bounds stack indexing")
+    print("=" * 64)
+    for tool_cls in (PurifyChecker, ValgrindChecker):
+        tool = tool_cls()
+        try:
+            run_raw(parse_program(STACK_BUG, "s"), shadow=tool)
+            print(f"{tool.name:10s} MISSED the bug "
+                  "(the write landed in the adjacent array)")
+        except BaselineViolation as exc:
+            print(f"{tool.name:10s} caught: {exc}")
+    try:
+        run_cured(cure(STACK_BUG, name="stack_bug"))
+        print(f"{'ccured':10s} MISSED the bug")
+    except MemorySafetyError as exc:
+        print(f"{'ccured':10s} caught: {type(exc).__name__}: {exc}")
+    print()
+    print("\"these other tools do not catch out-of-bounds array"
+          " indexing on")
+    print(" stack-allocated arrays\" — Section 5 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Library compatibility: wrappers and split metadata (Section 4).
+
+Two mechanisms let cured code talk to uninstrumented libraries:
+
+1. **Wrappers** (Section 4.1) — this example registers the paper's
+   own Figure 3 wrapper for ``strchr`` and shows it validating inputs
+   and rebuilding fat pointers.
+2. **Compatible (split) metadata** (Section 4.2) — the example calls
+   ``gethostbyname``, whose ``struct hostent`` result is produced by
+   the "library" in plain C layout; the SPLIT inference lets the cured
+   program traverse it in place, with bounds, and with no deep copy.
+
+Run:  python examples/library_compat.py
+"""
+
+from repro import cure, run_cured
+
+WRAPPER_DEMO = r'''
+#include <ccured.h>
+#include <string.h>
+#include <stdio.h>
+
+/* Figure 3 of the paper, verbatim in spirit */
+#pragma ccuredWrapperOf("strchr_wrapper", "strchr")
+char *strchr_wrapper(char *str, int chr) {
+  __verify_nul(str);  /* check for NUL termination */
+  /* call underlying function, stripping metadata */
+  char *result = strchr((char *)__ptrof(str), chr);
+  /* build a wide CCured ptr for the return value */
+  return (char *)__mkptr((void *)result, (void *)str);
+}
+
+int main(void) {
+  char path[32];
+  strcpy(path, "/usr/local/bin");
+  char *slash = path;
+  int depth = 0;
+  while ((slash = strchr(slash + 1, '/')) != (char *)0)
+    depth++;
+  printf("depth: %d\n", depth + 1);
+  return 0;
+}
+'''
+
+HOSTENT_DEMO = r'''
+#include <stdio.h>
+#include <string.h>
+
+struct hostent {           /* exactly the paper's Section 4.2 struct */
+  char *h_name;            /* String */
+  char **h_aliases;        /* Array of strings */
+  int h_addrtype;
+};
+extern struct hostent *gethostbyname(const char *name);
+
+int main(void) {
+  struct hostent *he = gethostbyname("repro.example.org");
+  int i = 0;
+  char *alias;
+  if (he == (struct hostent *)0) return 1;
+  printf("name: %s (af=%d)\n", he->h_name, he->h_addrtype);
+  while ((alias = he->h_aliases[i]) != (char *)0) {
+    printf("alias %d: %s\n", i, alias);
+    i++;
+  }
+  /* interior pointer arithmetic on library-owned strings stays
+   * bounds-checked thanks to the manufactured split metadata */
+  {
+    char *p = he->h_name;
+    p = p + 6;
+    printf("suffix: %s\n", p);
+  }
+  return 0;
+}
+'''
+
+
+def main() -> None:
+    print("=" * 64)
+    print("1. The strchr wrapper of Figure 3")
+    print("=" * 64)
+    cured = cure(WRAPPER_DEMO, name="wrapper_demo")
+    res = run_cured(cured)
+    print(res.stdout.strip())
+    print("calls to strchr were routed through strchr_wrapper;"
+          " the result pointer")
+    print("carries the bounds of `path`, so arithmetic on it stays"
+          " checked.")
+
+    print()
+    print("=" * 64)
+    print("2. gethostbyname and the compatible (SPLIT) metadata")
+    print("=" * 64)
+    cured2 = cure(HOSTENT_DEMO, name="hostent_demo")
+    sr = cured2.split_result
+    print(f"split inference: {sr.split_nodes} pointers split "
+          f"({sr.split_fraction:.0%} of declarations), "
+          f"{sr.meta_nodes} carry a metadata pointer")
+    res2 = run_cured(cured2)
+    print(res2.stdout.strip())
+    print()
+    print("The library wrote a plain-C hostent; the cured program")
+    print("walked it in place — no deep copy and no hand-written")
+    print("wrapper, which is exactly the Section 4.2 result.")
+
+
+if __name__ == "__main__":
+    main()

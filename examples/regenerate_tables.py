@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Regenerate every table of the paper's evaluation in one run.
+
+This is the script behind EXPERIMENTS.md: Figure 8, Figure 9, the
+Spec95/Olden/Ptrdist overhead comparison, the cast census, and the
+three ablations (ijpeg RTTI, bind casts, split representation).
+
+Run:  python examples/regenerate_tables.py          (~2-4 minutes)
+"""
+
+from repro.bench import (aggregate_census, census_table, figure8_table,
+                         figure9_table, overhead_table, run_workload)
+from repro.core import CureOptions
+from repro.workloads import all_workloads, by_category, get
+
+FIG9 = ["pcnet32", "sbull", "ftpd", "openssl_like", "openssh_like",
+        "sendmail_like", "bind_like"]
+SPEC = ["spec_compress", "spec_go", "spec_li", "olden_bisort",
+        "olden_treeadd", "olden_power", "olden_em3d",
+        "ptrdist_anagram", "ptrdist_ks"]
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 64)
+    print(title)
+    print("=" * 64)
+
+
+def main() -> None:
+    banner("Figure 8 — Apache module performance (paper: 0.94-1.04)")
+    rows8 = [run_workload(w, tools=("ccured",), scale=1)
+             for w in by_category("apache")]
+    print(figure8_table(rows8))
+
+    banner("Figure 9 — system software (paper: CCured 0.99-1.87, "
+           "Valgrind 9.4-129)")
+    rows9 = [run_workload(get(n), tools=("ccured", "valgrind"))
+             for n in FIG9]
+    print(figure9_table(rows9))
+
+    banner("Spec95/Olden/Ptrdist (paper: CCured +7-56%, Purify "
+           "25-100x, Valgrind 9-130x)")
+    rows4 = [run_workload(get(n),
+                          tools=("ccured", "purify", "valgrind"),
+                          scale={"spec_compress": 3,
+                                 "ptrdist_ks": 1}.get(n))
+             for n in SPEC]
+    print(overhead_table(rows4))
+
+    banner("ijpeg RTTI experiment (paper: 60% WILD/2.15x -> "
+           "1% RTTI/1.45x)")
+    w = get("spec_ijpeg")
+    r_rtti = run_workload(w, tools=("ccured",))
+    r_wild = run_workload(w, tools=("ccured",),
+                          options=CureOptions(use_rtti=False))
+    print(f"WILD-only: ratio={r_wild.ccured_ratio:.2f} "
+          f"kinds={r_wild.sf_sq_w_rt()}")
+    print(f"with RTTI: ratio={r_rtti.ccured_ratio:.2f} "
+          f"kinds={r_rtti.sf_sq_w_rt()}")
+
+    banner("bind cast staircase (paper: 30% WILD -> 0% with "
+           "RTTI + 380 trusted)")
+    wb = get("bind_like")
+    for label, opts in [
+            ("original", CureOptions(use_physical=False,
+                                     use_rtti=False)),
+            ("physical", CureOptions(use_physical=True,
+                                     use_rtti=False)),
+            ("full+trust", CureOptions(trust_bad_casts=True))]:
+        row = run_workload(wb, tools=(), options=opts)
+        print(f"{label:<11} wild={row.kind_pct['wild']:.0%} "
+              f"trusted={row.trusted_casts} "
+              f"split={row.split_fraction:.1%}")
+
+    banner("split-representation ablation (paper: em3d +58%, "
+           "anagram +7%, rest <3%)")
+    for n in ("olden_bisort", "olden_em3d", "ptrdist_anagram"):
+        wl = get(n)
+        plain = run_workload(wl, tools=("ccured",))
+        split = run_workload(wl, tools=("ccured",),
+                             options=CureOptions(all_split=True))
+        extra = split.ccured.cycles / plain.ccured.cycles - 1.0
+        print(f"{n:<17} plain {plain.ccured_ratio:.2f}x, "
+              f"all-split {extra:+.1%}")
+
+    banner("cast census (paper: 63% identical; of the rest 93% "
+           "up / 6% down / <1% bad)")
+    rows_c = [run_workload(w, tools=(), scale=1)
+              for w in all_workloads()]
+    print(census_table(rows_c))
+    agg = aggregate_census(rows_c)
+    print(f"\npooled: identical {agg['identical']:.1%}; of the rest "
+          f"upcast {agg['upcast']:.1%}, downcast {agg['downcast']:.1%},"
+          f" bad {agg['bad']:.1%}")
+
+
+if __name__ == "__main__":
+    main()

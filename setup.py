@@ -1,0 +1,21 @@
+"""Setup shim for environments without PEP 660 editable-wheel support
+(offline, no `wheel` package): `pip install -e .` falls back to the
+legacy `setup.py develop` path through this file."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("A Python reproduction of 'CCured in the Real World' "
+                 "(PLDI 2003)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.cpp": ["include/*.h"],
+                  "repro.workloads": ["programs/*.c"]},
+    python_requires=">=3.10",
+    install_requires=["pycparser>=2.21"],
+    entry_points={
+        "console_scripts": ["repro-ccured=repro.cli:main"],
+    },
+)

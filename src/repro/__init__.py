@@ -1,0 +1,37 @@
+"""repro — a Python reproduction of "CCured in the Real World" (PLDI 2003).
+
+Public API quickstart::
+
+    from repro import cure, run_cured, CureOptions
+
+    cured = cure(open("prog.c").read())
+    print(cured.report())          # kinds, casts, checks, split stats
+    result = run_cured(cured)      # memory-safe execution
+    print(result.stdout)
+
+Subpackages:
+
+* ``repro.cpp``       — a small C preprocessor + bundled libc headers
+* ``repro.cil``       — the CIL-like typed IR
+* ``repro.frontend``  — pycparser -> CIL lowering
+* ``repro.core``      — the paper: kind inference, physical subtyping,
+                         RTTI, SPLIT metadata, instrumentation
+* ``repro.runtime``   — memory model, fat-pointer values, cost model,
+                         libc builtins/wrappers
+* ``repro.interp``    — the cured/raw interpreter
+* ``repro.baselines`` — Purify-like and Valgrind-like shadow checkers
+* ``repro.workloads`` — the synthetic benchmark programs
+* ``repro.bench``     — harnesses regenerating the paper's tables
+"""
+
+from repro.core import (CastClass, CureOptions, CuredProgram,
+                        PointerKind, cure)
+from repro.interp import ExecResult, run_cured, run_raw
+from repro.frontend import parse_program
+from repro.runtime.checks import MemorySafetyError
+
+__version__ = "1.0.0"
+
+__all__ = ["cure", "CureOptions", "CuredProgram", "CastClass",
+           "PointerKind", "run_cured", "run_raw", "parse_program",
+           "ExecResult", "MemorySafetyError", "__version__"]

@@ -1,0 +1,9 @@
+"""Baseline memory-checking tools: Purify-like and Valgrind-like
+shadow-memory checkers over the raw interpreter (paper Section 5)."""
+
+from repro.baselines.base import BaselineViolation, ShadowChecker
+from repro.baselines.purify import PurifyChecker
+from repro.baselines.valgrind import ValgrindChecker
+
+__all__ = ["BaselineViolation", "ShadowChecker", "PurifyChecker",
+           "ValgrindChecker"]

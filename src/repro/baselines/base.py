@@ -1,0 +1,63 @@
+"""Shadow-memory checker interface for the baseline tools.
+
+The paper compares CCured against Purify and Valgrind (Section 5 and
+Figure 9).  Both are *binary* instrumentation tools: they observe every
+memory access of the uninstrumented program and keep shadow state.  We
+reproduce them as :class:`ShadowChecker` plugins on the raw
+interpreter: the interpreter calls the hooks on every instruction,
+access, allocation and free, and each tool maintains its shadow state
+and charges its published overhead profile.
+
+Detected violations raise :class:`BaselineViolation` — deliberately a
+different hierarchy from CCured's
+:class:`repro.runtime.checks.MemorySafetyError`, since tests assert
+*which* tool catches *which* bug class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime.memory import Home
+
+
+class BaselineViolation(Exception):
+    """A memory error detected by a baseline shadow tool."""
+
+    def __init__(self, tool: str, message: str) -> None:
+        super().__init__(f"{tool}: {message}")
+        self.tool = tool
+
+
+class ShadowChecker:
+    """Base class: does nothing, costs nothing."""
+
+    #: request guard gaps (red zones) around heap allocations.
+    wants_redzones = False
+    name = "shadow"
+
+    def __init__(self) -> None:
+        self.ip = None  # the interpreter, set by attach()
+        self.reads = 0
+        self.writes = 0
+
+    def attach(self, ip) -> None:
+        self.ip = ip
+
+    # -- hooks ---------------------------------------------------------
+
+    def on_instr(self) -> None: ...
+
+    def on_read(self, addr: int, size: int) -> None: ...
+
+    def on_write(self, addr: int, size: int) -> None: ...
+
+    def on_alloc(self, home: Home) -> None: ...
+
+    def on_free(self, home: Home) -> None: ...
+
+    # -- helpers ----------------------------------------------------------
+
+    def _home(self, addr: int) -> Optional[Home]:
+        assert self.ip is not None
+        return self.ip.mem.home_of(addr)

@@ -1,0 +1,11 @@
+"""Benchmark harness and paper-table formatting."""
+
+from repro.bench.harness import (BenchRow, ToolRun, count_lines,
+                                 run_workload)
+from repro.bench.tables import (aggregate_census, band_check,
+                                census_table, figure8_table,
+                                figure9_table, overhead_table)
+
+__all__ = ["BenchRow", "ToolRun", "count_lines", "run_workload",
+           "aggregate_census", "band_check", "census_table",
+           "figure8_table", "figure9_table", "overhead_table"]

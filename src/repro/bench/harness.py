@@ -1,0 +1,133 @@
+"""The benchmark harness: run a workload under every tool and collect
+the measurements the paper's tables report.
+
+For one workload the harness produces a :class:`BenchRow` containing:
+
+* the source size (lines of code) — the "Lines of code" column;
+* the static pointer-kind percentages — the "% sf/sq/w/rt" column;
+* the cured/raw, purify/raw and valgrind/raw cycle ratios — the
+  "CCured Ratio" and "Valgrind Ratio" columns;
+* cast census, trusted-cast and split statistics for the Section 3/5
+  analyses.
+
+Every mode gets a *fresh parse* of the program: curing mutates the IR
+(check insertion, qualifier solving), so tools never share trees.
+All measurements are deterministic (the cost model is exact), so a
+table regenerates identically on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baselines import PurifyChecker, ValgrindChecker
+from repro.core import CureOptions
+from repro.interp import ExecResult, run_cured, run_raw
+from repro.workloads import Workload
+
+
+@dataclass
+class ToolRun:
+    tool: str
+    cycles: int
+    status: int
+    steps: int
+    stdout: str = ""
+
+    def ratio(self, base: "ToolRun") -> float:
+        return self.cycles / base.cycles if base.cycles else 0.0
+
+
+@dataclass
+class BenchRow:
+    """One row of a paper-style results table."""
+
+    name: str
+    lines: int
+    kind_pct: dict[str, float]
+    raw: ToolRun
+    ccured: Optional[ToolRun] = None
+    purify: Optional[ToolRun] = None
+    valgrind: Optional[ToolRun] = None
+    trusted_casts: int = 0
+    census: dict[str, float] = field(default_factory=dict)
+    split_fraction: float = 0.0
+    meta_fraction: float = 0.0
+    pointer_casts: int = 0
+
+    @property
+    def ccured_ratio(self) -> float:
+        return self.ccured.ratio(self.raw) if self.ccured else 0.0
+
+    @property
+    def purify_ratio(self) -> float:
+        return self.purify.ratio(self.raw) if self.purify else 0.0
+
+    @property
+    def valgrind_ratio(self) -> float:
+        return self.valgrind.ratio(self.raw) if self.valgrind else 0.0
+
+    def sf_sq_w_rt(self) -> str:
+        p = self.kind_pct
+        seq = p["seq"] + p.get("fseq", 0.0)  # CCured reported FSEQ
+        return (f"{p['safe']*100:.0f}/{seq*100:.0f}/"          # as sq
+                f"{p['wild']*100:.0f}/{p['rtti']*100:.0f}")
+
+
+def count_lines(source: str) -> int:
+    return sum(1 for line in source.splitlines()
+               if line.strip() and not line.strip().startswith("//"))
+
+
+def run_workload(w: Workload, *,
+                 tools: tuple[str, ...] = ("ccured",),
+                 options: Optional[CureOptions] = None,
+                 scale: Optional[int] = None,
+                 max_steps: int = 50_000_000) -> BenchRow:
+    """Run one workload under raw + the requested tools."""
+    src = w.source()
+    raw_res = run_raw(w.parse(scale), args=list(w.args) or None,
+                      stdin=w.stdin, max_steps=max_steps)
+    cured = w.cure(options=options, scale=scale)
+    row = BenchRow(
+        name=w.name,
+        lines=count_lines(src),
+        kind_pct=cured.kind_percentages(),
+        raw=_tool_run("raw", raw_res),
+        trusted_casts=cured.trusted_casts,
+        census=cured.census.fractions(),
+        split_fraction=cured.split_result.split_fraction,
+        meta_fraction=cured.split_result.meta_fraction,
+        pointer_casts=cured.census.pointer_casts,
+    )
+    if "ccured" in tools:
+        res = run_cured(cured, args=list(w.args) or None,
+                        stdin=w.stdin, max_steps=max_steps)
+        _assert_same_behaviour(w.name, raw_res, res)
+        row.ccured = _tool_run("ccured", res)
+    if "purify" in tools:
+        res = run_raw(w.parse(scale), args=list(w.args) or None,
+                      stdin=w.stdin, shadow=PurifyChecker(),
+                      max_steps=max_steps)
+        row.purify = _tool_run("purify", res)
+    if "valgrind" in tools:
+        res = run_raw(w.parse(scale), args=list(w.args) or None,
+                      stdin=w.stdin, shadow=ValgrindChecker(),
+                      max_steps=max_steps)
+        row.valgrind = _tool_run("valgrind", res)
+    return row
+
+
+def _tool_run(tool: str, res: ExecResult) -> ToolRun:
+    return ToolRun(tool, res.cycles, res.status, res.steps, res.stdout)
+
+
+def _assert_same_behaviour(name: str, raw: ExecResult,
+                           cured: ExecResult) -> None:
+    """The cure must not change the observable behaviour of a correct
+    program — checked on every benchmark run."""
+    if raw.status != cured.status or raw.stdout != cured.stdout:
+        raise AssertionError(
+            f"{name}: cured behaviour diverged from raw "
+            f"(status {raw.status} vs {cured.status})")

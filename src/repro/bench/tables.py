@@ -1,0 +1,102 @@
+"""Format benchmark rows as the paper's tables (Figures 8 and 9)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.bench.harness import BenchRow
+
+
+def figure8_table(rows: Sequence[BenchRow]) -> str:
+    """The Apache-module table of Figure 8:
+
+    ``Module Name | Lines of code | % sf/sq/w/rt | CCured Ratio``
+    """
+    out = ["Module      Lines   % CCured        CCured",
+           "Name        of code sf/sq/w/rt      Ratio",
+           "-" * 48]
+    for r in rows:
+        name = r.name.replace("apache_", "")
+        out.append(f"{name:<11} {r.lines:>6}  {r.sf_sq_w_rt():<14} "
+                   f"{r.ccured_ratio:.2f}")
+    return "\n".join(out)
+
+
+def figure9_table(rows: Sequence[BenchRow]) -> str:
+    """The system-software table of Figure 9:
+
+    ``Name | Lines of code | % sf/sq/w/rt | CCured Ratio |
+    Valgrind Ratio``
+    """
+    out = ["Name           Lines    % sf/sq/w/rt   CCured  Valgrind",
+           "               of code                 Ratio   Ratio",
+           "-" * 60]
+    for r in rows:
+        vg = f"{r.valgrind_ratio:.1f}" if r.valgrind else "   -"
+        out.append(f"{r.name:<14} {r.lines:>7}  {r.sf_sq_w_rt():<14}"
+                   f" {r.ccured_ratio:.2f}    {vg}")
+    return "\n".join(out)
+
+
+def overhead_table(rows: Sequence[BenchRow],
+                   title: str = "Overheads") -> str:
+    """Spec95-style overhead comparison across all tools."""
+    out = [title,
+           "Name              CCured   Purify   Valgrind",
+           "-" * 48]
+    for r in rows:
+        pu = f"{r.purify_ratio:6.1f}x" if r.purify else "      -"
+        vg = f"{r.valgrind_ratio:6.1f}x" if r.valgrind else "      -"
+        out.append(f"{r.name:<17} {r.ccured_ratio:5.2f}x  {pu}  {vg}")
+    return "\n".join(out)
+
+
+def census_table(rows: Sequence[BenchRow]) -> str:
+    """The Section 3 cast census across workloads."""
+    out = ["Name              casts  ident  upcast  downcast  bad",
+           "-" * 58]
+    tot_casts = 0
+    for r in rows:
+        c = r.census
+        tot_casts += r.pointer_casts
+        out.append(
+            f"{r.name:<17} {r.pointer_casts:>5}  "
+            f"{c.get('identical', 0):5.0%}  {c.get('upcast', 0):5.0%}"
+            f"   {c.get('downcast', 0):5.0%}   "
+            f"{c.get('bad', 0):5.1%}")
+    out.append(f"total pointer casts: {tot_casts}")
+    return "\n".join(out)
+
+
+def band_check(value: float, lo: float, hi: float,
+               what: str) -> Optional[str]:
+    """Return a message when ``value`` falls outside [lo, hi]."""
+    if lo <= value <= hi:
+        return None
+    return f"{what} = {value:.2f} outside [{lo}, {hi}]"
+
+
+def aggregate_census(rows: Iterable[BenchRow]) -> dict[str, float]:
+    """Pool the cast census over many workloads (the paper's suite-wide
+    63% / 93% / 6% / <1% numbers)."""
+    ident = up = down = bad = total = 0.0
+    for r in rows:
+        n = r.pointer_casts
+        if n == 0:
+            continue
+        c = r.census
+        i = c.get("identical", 0.0) * n
+        rest = n - i
+        total += n
+        ident += i
+        up += c.get("upcast", 0.0) * rest
+        down += c.get("downcast", 0.0) * rest
+        bad += c.get("bad", 0.0) * rest
+    rest_total = total - ident
+    return {
+        "identical": ident / total if total else 0.0,
+        "upcast": up / rest_total if rest_total else 0.0,
+        "downcast": down / rest_total if rest_total else 0.0,
+        "bad": bad / rest_total if rest_total else 0.0,
+        "total": total,
+    }

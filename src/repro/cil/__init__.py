@@ -1,0 +1,34 @@
+"""A CIL-like intermediate representation for C.
+
+This subpackage provides the typed IR that the rest of the system is
+built on: types with pointer-qualifier slots, side-effect-free
+expressions, CIL-style instructions and structured statements, a whole
+program container, generic visitors, and a C pretty-printer.
+"""
+
+from repro.cil.types import (CType, TVoid, TInt, TFloat, TPtr, TArray,
+                             TFun, TComp, TEnum, TNamed, CompInfo,
+                             FieldInfo, EnumInfo, IKind, FKind, Machine,
+                             MACHINE, unroll, is_pointer, is_integral,
+                             is_arithmetic, is_void, is_scalar,
+                             is_function, comp_layout, field_offset,
+                             IncompleteTypeError, int_t, uint_t, char_t,
+                             uchar_t, long_t, double_t, float_t, void_t,
+                             ptr, array, type_of_pointed)
+from repro.cil.expr import (Exp, Const, StrConst, LvalExp, SizeOfT, UnOp,
+                            BinOp, CastE, AddrOf, StartOf, UnopKind,
+                            BinopKind, Lval, Lhost, Var, Mem, Offset,
+                            NoOffset, NO_OFFSET, Field, Index, Varinfo,
+                            var_lval, mem_lval, is_zero, COMPARISONS,
+                            POINTER_ARITH)
+from repro.cil.stmt import (Instr, Set, Call, Check, CheckKind, Stmt,
+                            InstrStmt, Return, Break, Continue, Block, If,
+                            Loop, Init, SingleInit, CompoundInit, Fundec)
+from repro.cil.program import (Program, Global, GVar, GVarDecl, GFun,
+                               GCompTag, GEnumTag, GType, GPragma)
+from repro.cil.visitor import (Visitor, walk_program, walk_stmt,
+                               walk_instr, walk_exp, walk_lval,
+                               type_occurrences, each_pointer)
+from repro.cil.printer import (Printer, program_to_c, exp_to_c, type_to_c)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,267 @@
+"""Pretty-print CIL programs back to C.
+
+The printer has two modes:
+
+* plain mode — prints the program as ordinary C (useful for debugging the
+  frontend: its output re-parses with pycparser, which is tested);
+* annotated mode — prints inferred pointer kinds as ``* __SAFE`` /
+  ``* __SEQ`` / ``* __WILD`` / ``* __RTTI`` qualifiers and renders the
+  curing transformation's run-time checks as ``__CHECK_*`` statements,
+  matching the presentation style of the original CCured's output.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from repro.cil import expr as E
+from repro.cil import stmt as S
+from repro.cil import types as T
+from repro.cil.program import (GCompTag, GEnumTag, GFun, GPragma, GType,
+                               GVar, GVarDecl, Program)
+
+
+class Printer:
+    def __init__(self, *, annotate_kinds: bool = False,
+                 indent: str = "  ") -> None:
+        self.annotate_kinds = annotate_kinds
+        self.indent = indent
+
+    # -- types --------------------------------------------------------
+
+    def _kind_str(self, t: T.TPtr) -> str:
+        if not self.annotate_kinds or t.node is None:
+            return ""
+        return f" __{t.node.kind.name}"
+
+    def type_str(self, t: T.CType, decl: str = "") -> str:
+        """Print a type around a declarator string (C inside-out rule)."""
+        if isinstance(t, T.TVoid):
+            return f"void {decl}".rstrip()
+        if isinstance(t, T.TInt):
+            return f"{t.kind.value} {decl}".rstrip()
+        if isinstance(t, T.TFloat):
+            return f"{t.kind.value} {decl}".rstrip()
+        if isinstance(t, T.TNamed):
+            return f"{t.name} {decl}".rstrip()
+        if isinstance(t, T.TComp):
+            kw = "struct" if t.comp.is_struct else "union"
+            return f"{kw} {t.comp.name} {decl}".rstrip()
+        if isinstance(t, T.TEnum):
+            return f"enum {t.enuminfo.name} {decl}".rstrip()
+        if isinstance(t, T.TPtr):
+            inner = f"*{self._kind_str(t)} {decl}".rstrip() \
+                if self._kind_str(t) else f"*{decl}"
+            if isinstance(T.unroll(t.base), (T.TArray, T.TFun)) and not \
+                    isinstance(t.base, T.TNamed):
+                inner = f"({inner})"
+            return self.type_str(t.base, inner)
+        if isinstance(t, T.TArray):
+            n = "" if t.length is None else str(t.length)
+            return self.type_str(t.base, f"{decl}[{n}]")
+        if isinstance(t, T.TFun):
+            if t.params is None:
+                ps = ""
+            elif not t.params and not t.varargs:
+                ps = "void"
+            else:
+                ps = ", ".join(self.type_str(pt, nm or "")
+                               for nm, pt in t.params)
+                if t.varargs:
+                    ps = f"{ps}, ..." if ps else "..."
+            return self.type_str(t.ret, f"{decl}({ps})")
+        raise TypeError(f"unprintable type {t!r}")
+
+    # -- expressions ---------------------------------------------------
+
+    def exp_str(self, e: E.Exp) -> str:
+        if isinstance(e, E.Const):
+            if isinstance(e.value, float):
+                return repr(e.value)
+            return str(e.value)
+        if isinstance(e, E.StrConst):
+            escaped = (e.value.replace("\\", "\\\\").replace('"', '\\"')
+                       .replace("\n", "\\n").replace("\t", "\\t")
+                       .replace("\r", "\\r").replace("\0", "\\0"))
+            return f'"{escaped}"'
+        if isinstance(e, E.LvalExp):
+            return self.lval_str(e.lval)
+        if isinstance(e, E.SizeOfT):
+            return f"sizeof({self.type_str(e.t)})"
+        if isinstance(e, E.UnOp):
+            return f"{e.op.value}({self.exp_str(e.e)})"
+        if isinstance(e, E.BinOp):
+            op = e.op.value
+            if e.op in (E.BinopKind.PLUS_PI, E.BinopKind.MINUS_PI):
+                op = op[0]
+            elif e.op is E.BinopKind.MINUS_PP:
+                op = "-"
+            return f"({self.exp_str(e.e1)} {op} {self.exp_str(e.e2)})"
+        if isinstance(e, E.CastE):
+            trust = "/*trusted*/ " if e.trusted else ""
+            return f"({trust}{self.type_str(e.t)})({self.exp_str(e.e)})"
+        if isinstance(e, E.AddrOf):
+            return f"&{self.lval_str(e.lval)}"
+        if isinstance(e, E.StartOf):
+            return self.lval_str(e.lval)
+        raise TypeError(f"unprintable expression {e!r}")
+
+    def lval_str(self, lv: E.Lval) -> str:
+        if isinstance(lv.host, E.Var):
+            base = lv.host.var.name
+        else:
+            assert isinstance(lv.host, E.Mem)
+            inner = lv.host.exp
+            # *p with an immediate field offset prints as p->f.
+            if isinstance(lv.offset, E.Field):
+                off = self.offset_str(lv.offset.rest)
+                return (f"{self._mem_base_str(inner)}->"
+                        f"{lv.offset.field.name}{off}")
+            base = f"(*{self.exp_str(inner)})"
+        return base + self.offset_str(lv.offset)
+
+    def _mem_base_str(self, e: E.Exp) -> str:
+        s = self.exp_str(e)
+        if isinstance(e, (E.LvalExp, E.Const)):
+            return s
+        return f"({s})"
+
+    def offset_str(self, off: E.Offset) -> str:
+        parts = []
+        while not isinstance(off, E.NoOffset):
+            if isinstance(off, E.Field):
+                parts.append(f".{off.field.name}")
+                off = off.rest
+            elif isinstance(off, E.Index):
+                parts.append(f"[{self.exp_str(off.index)}]")
+                off = off.rest
+        return "".join(parts)
+
+    # -- instructions and statements -----------------------------------
+
+    def instr_str(self, i: S.Instr) -> str:
+        if isinstance(i, S.Set):
+            return f"{self.lval_str(i.lval)} = {self.exp_str(i.exp)};"
+        if isinstance(i, S.Call):
+            args = ", ".join(self.exp_str(a) for a in i.args)
+            fn = self.exp_str(i.fn)
+            if isinstance(i.fn, E.LvalExp) and isinstance(
+                    i.fn.lval.host, E.Mem):
+                fn = f"({fn})"
+            call = f"{fn}({args})"
+            if i.ret is not None:
+                return f"{self.lval_str(i.ret)} = {call};"
+            return f"{call};"
+        if isinstance(i, S.Check):
+            args = [self.exp_str(a) for a in i.args]
+            if i.size is not None:
+                args.append(str(i.size))
+            if i.rtti is not None:
+                args.append(f"__rttiOf({self.type_str(i.rtti)})")
+            return f"__{i.kind.value}({', '.join(args)});"
+        raise TypeError(f"unprintable instruction {i!r}")
+
+    def stmt_lines(self, s: S.Stmt, depth: int) -> list[str]:
+        pad = self.indent * depth
+        if isinstance(s, S.InstrStmt):
+            return [pad + self.instr_str(i) for i in s.instrs]
+        if isinstance(s, S.Return):
+            if s.exp is None:
+                return [pad + "return;"]
+            return [pad + f"return {self.exp_str(s.exp)};"]
+        if isinstance(s, S.Break):
+            return [pad + "break;"]
+        if isinstance(s, S.Continue):
+            return [pad + "continue;"]
+        if isinstance(s, S.Block):
+            out = [pad + "{"]
+            for sub in s.stmts:
+                out.extend(self.stmt_lines(sub, depth + 1))
+            out.append(pad + "}")
+            return out
+        if isinstance(s, S.If):
+            out = [pad + f"if ({self.exp_str(s.cond)})"]
+            out.extend(self.stmt_lines(s.then, depth))
+            if s.els.stmts:
+                out.append(pad + "else")
+                out.extend(self.stmt_lines(s.els, depth))
+            return out
+        if isinstance(s, S.Loop):
+            out = [pad + "while (1)"]
+            out.extend(self.stmt_lines(s.body, depth))
+            return out
+        raise TypeError(f"unprintable statement {s!r}")
+
+    # -- initializers ---------------------------------------------------
+
+    def init_str(self, init: S.Init) -> str:
+        if isinstance(init, S.SingleInit):
+            return self.exp_str(init.exp)
+        assert isinstance(init, S.CompoundInit)
+        return "{" + ", ".join(self.init_str(sub)
+                               for _, sub in init.entries) + "}"
+
+    # -- globals ---------------------------------------------------------
+
+    def program_str(self, prog: Program) -> str:
+        out = io.StringIO()
+        for g in prog.globals:
+            if isinstance(g, GCompTag):
+                kw = "struct" if g.comp.is_struct else "union"
+                out.write(f"{kw} {g.comp.name} {{\n")
+                for f in g.comp.fields:
+                    out.write(self.indent
+                              + self.type_str(f.type, f.name) + ";\n")
+                out.write("};\n")
+            elif isinstance(g, GEnumTag):
+                items = ", ".join(f"{n} = {v}"
+                                  for n, v in g.enuminfo.items)
+                out.write(f"enum {g.enuminfo.name} {{ {items} }};\n")
+            elif isinstance(g, GType):
+                out.write("typedef "
+                          + self.type_str(g.type, g.name) + ";\n")
+            elif isinstance(g, GVarDecl):
+                out.write("extern "
+                          + self.type_str(g.var.type, g.var.name) + ";\n")
+            elif isinstance(g, GVar):
+                decl = self.type_str(g.var.type, g.var.name)
+                if g.var.storage == "static":
+                    decl = "static " + decl
+                if g.init is not None:
+                    decl += " = " + self.init_str(g.init)
+                out.write(decl + ";\n")
+            elif isinstance(g, GFun):
+                out.write(self.fundec_str(g.fundec))
+            elif isinstance(g, GPragma):
+                args = ", ".join(g.args)
+                out.write(f"#pragma {g.name}({args})\n")
+        return out.getvalue()
+
+    def fundec_str(self, fd: S.Fundec) -> str:
+        ft = T.unroll(fd.svar.type)
+        assert isinstance(ft, T.TFun)
+        params = ", ".join(self.type_str(v.type, v.name)
+                           for v in fd.formals) or "void"
+        head = self.type_str(ft.ret, f"{fd.name}({params})")
+        lines = [head, "{"]
+        for v in fd.locals:
+            lines.append(self.indent + self.type_str(v.type, v.name) + ";")
+        for s in fd.body.stmts:
+            lines.extend(self.stmt_lines(s, 1))
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def program_to_c(prog: Program, *, annotate_kinds: bool = False) -> str:
+    """Render a whole program as C source text."""
+    return Printer(annotate_kinds=annotate_kinds).program_str(prog)
+
+
+def exp_to_c(e: E.Exp) -> str:
+    return Printer().exp_str(e)
+
+
+def type_to_c(t: T.CType, decl: str = "",
+              annotate_kinds: bool = False) -> str:
+    return Printer(annotate_kinds=annotate_kinds).type_str(t, decl)

@@ -1,0 +1,197 @@
+"""Generic traversal over CIL programs.
+
+Two facilities:
+
+* :class:`Visitor` — a read-only callback visitor over globals,
+  statements, instructions, expressions and lvalues, used by the
+  constraint generator and by the various static censuses.
+* :func:`walk_types` — enumerate every *syntactic type occurrence* in a
+  program together with a context description.  CCured's inference
+  "associates a qualifier variable with each syntactic occurrence of the
+  ``*`` pointer-type constructor"; this walk is how those occurrences are
+  found.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.cil import expr as E
+from repro.cil import stmt as S
+from repro.cil import types as T
+from repro.cil.program import (GCompTag, GFun, GType, GVar, GVarDecl,
+                               Global, Program)
+
+
+class Visitor:
+    """Override any subset of the ``visit_*`` hooks; traversal recurses
+    into children after the hook runs."""
+
+    def visit_global(self, g: Global) -> None: ...
+    def visit_fundec(self, f: S.Fundec) -> None: ...
+    def visit_stmt(self, s: S.Stmt) -> None: ...
+    def visit_instr(self, i: S.Instr) -> None: ...
+    def visit_exp(self, e: E.Exp) -> None: ...
+    def visit_lval(self, lv: E.Lval) -> None: ...
+    def visit_init(self, init: S.Init) -> None: ...
+
+
+def walk_program(prog: Program, v: Visitor) -> None:
+    for g in prog.globals:
+        v.visit_global(g)
+        if isinstance(g, GFun):
+            v.visit_fundec(g.fundec)
+            walk_stmt(S.Block(g.fundec.body.stmts), v)
+        elif isinstance(g, GVar) and g.init is not None:
+            walk_init(g.init, v)
+
+
+def walk_init(init: S.Init, v: Visitor) -> None:
+    v.visit_init(init)
+    if isinstance(init, S.SingleInit):
+        walk_exp(init.exp, v)
+    elif isinstance(init, S.CompoundInit):
+        for _, sub in init.entries:
+            walk_init(sub, v)
+
+
+def walk_stmt(s: S.Stmt, v: Visitor) -> None:
+    v.visit_stmt(s)
+    if isinstance(s, S.InstrStmt):
+        for i in s.instrs:
+            walk_instr(i, v)
+    elif isinstance(s, S.Return):
+        if s.exp is not None:
+            walk_exp(s.exp, v)
+    elif isinstance(s, S.Block):
+        for sub in s.stmts:
+            walk_stmt(sub, v)
+    elif isinstance(s, S.If):
+        walk_exp(s.cond, v)
+        walk_stmt(s.then, v)
+        walk_stmt(s.els, v)
+    elif isinstance(s, S.Loop):
+        walk_stmt(s.body, v)
+
+
+def walk_instr(i: S.Instr, v: Visitor) -> None:
+    v.visit_instr(i)
+    if isinstance(i, S.Set):
+        walk_lval(i.lval, v)
+        walk_exp(i.exp, v)
+    elif isinstance(i, S.Call):
+        if i.ret is not None:
+            walk_lval(i.ret, v)
+        walk_exp(i.fn, v)
+        for a in i.args:
+            walk_exp(a, v)
+    elif isinstance(i, S.Check):
+        for a in i.args:
+            walk_exp(a, v)
+
+
+def walk_exp(e: E.Exp, v: Visitor) -> None:
+    v.visit_exp(e)
+    if isinstance(e, E.LvalExp):
+        walk_lval(e.lval, v)
+    elif isinstance(e, (E.AddrOf, E.StartOf)):
+        walk_lval(e.lval, v)
+    elif isinstance(e, E.UnOp):
+        walk_exp(e.e, v)
+    elif isinstance(e, E.BinOp):
+        walk_exp(e.e1, v)
+        walk_exp(e.e2, v)
+    elif isinstance(e, E.CastE):
+        walk_exp(e.e, v)
+
+
+def walk_lval(lv: E.Lval, v: Visitor) -> None:
+    v.visit_lval(lv)
+    if isinstance(lv.host, E.Mem):
+        walk_exp(lv.host.exp, v)
+    off = lv.offset
+    while not isinstance(off, E.NoOffset):
+        if isinstance(off, E.Index):
+            walk_exp(off.index, v)
+        off = off.rest  # type: ignore[union-attr]
+
+
+# ---------------------------------------------------------------------------
+# Type-occurrence walks
+# ---------------------------------------------------------------------------
+
+def type_occurrences(prog: Program) -> Iterator[tuple[T.CType, str]]:
+    """Yield ``(type, where)`` for every syntactic type occurrence.
+
+    Occurrences comprise: global and local variable types, struct/union
+    field types, typedef bodies, cast destination types, and ``sizeof``
+    operand types.  Sub-types (e.g. the base of a pointer) are *not*
+    yielded separately: consumers that need per-``*`` granularity recurse
+    themselves (see :func:`each_pointer`).
+    """
+    seen_comps: set[int] = set()
+    for g in prog.globals:
+        if isinstance(g, GCompTag):
+            if g.comp.key not in seen_comps:
+                seen_comps.add(g.comp.key)
+                for f in g.comp.fields:
+                    yield f.type, f"field {g.comp.name}.{f.name}"
+        elif isinstance(g, GType):
+            yield g.type, f"typedef {g.name}"
+        elif isinstance(g, GVar):
+            yield g.var.type, f"var {g.var.name}"
+        elif isinstance(g, GVarDecl):
+            # Externals are declarations of *library* entities; they are
+            # excluded from the "% of pointer declarations" metric,
+            # which counts the program's own pointers (as the paper's
+            # per-application tables do).
+            yield g.var.type, f"extern {g.var.name}"
+        elif isinstance(g, GFun):
+            fd = g.fundec
+            yield fd.svar.type, f"fun {fd.name}"
+            for formal in fd.formals:
+                yield formal.type, f"formal {fd.name}:{formal.name}"
+            for loc in fd.locals:
+                yield loc.type, f"local {fd.name}:{loc.name}"
+
+    class _CastCollector(Visitor):
+        def __init__(self) -> None:
+            self.found: list[tuple[T.CType, str]] = []
+
+        def visit_exp(self, e: E.Exp) -> None:
+            if isinstance(e, E.CastE):
+                self.found.append((e.t, "cast"))
+            elif isinstance(e, E.SizeOfT):
+                self.found.append((e.t, "sizeof"))
+
+    cc = _CastCollector()
+    walk_program(prog, cc)
+    yield from cc.found
+
+
+def each_pointer(t: T.CType,
+                 fn: Callable[[T.TPtr], None],
+                 _seen: set[int] | None = None) -> None:
+    """Apply ``fn`` to every ``TPtr`` reachable inside ``t``.
+
+    Recursion stops at composite references (their fields are separate
+    occurrences walked once via :func:`type_occurrences`) and guards
+    against typedef cycles.
+    """
+    if _seen is None:
+        _seen = set()
+    if id(t) in _seen:
+        return
+    _seen.add(id(t))
+    if isinstance(t, T.TPtr):
+        fn(t)
+        each_pointer(t.base, fn, _seen)
+    elif isinstance(t, T.TArray):
+        each_pointer(t.base, fn, _seen)
+    elif isinstance(t, T.TNamed):
+        each_pointer(t.actual, fn, _seen)
+    elif isinstance(t, T.TFun):
+        each_pointer(t.ret, fn, _seen)
+        for _, pt in (t.params or []):
+            each_pointer(pt, fn, _seen)
+    # TComp: fields are their own occurrences.

@@ -1,0 +1,186 @@
+"""Command-line interface: a ccured-like driver.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro cure prog.c            # report + instrumented C
+    python -m repro cure prog.c --report   # analysis report only
+    python -m repro run prog.c [args...]   # cure then execute
+    python -m repro run --raw prog.c       # uncured (hardware) run
+    python -m repro bench NAME             # measure one workload
+    python -m repro workloads              # list the benchmark suite
+
+The exit status of ``run`` is the program's exit status; memory-safety
+failures exit with status 99 after printing the check that fired,
+mirroring how a cured binary aborts with a check message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import CureOptions, cure
+from repro.frontend import parse_program
+from repro.interp import run_cured, run_raw
+from repro.runtime.checks import (MemorySafetyError, ProgramAbort,
+                                  SegmentationFault)
+
+SAFETY_EXIT = 99
+
+
+def _read_source(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def _options(args: argparse.Namespace) -> CureOptions:
+    return CureOptions(
+        use_physical=not args.no_physical,
+        use_rtti=not args.no_rtti,
+        trust_bad_casts=args.trust_bad_casts,
+        all_split=args.all_split,
+        optimize_checks=not args.no_optimize,
+    )
+
+
+def _add_cure_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--no-physical", action="store_true",
+                   help="disable physical subtyping (upcasts go WILD)")
+    p.add_argument("--no-rtti", action="store_true",
+                   help="disable RTTI pointers (downcasts go WILD)")
+    p.add_argument("--trust-bad-casts", action="store_true",
+                   help="trust remaining bad casts instead of WILD")
+    p.add_argument("--all-split", action="store_true",
+                   help="use the compatible representation everywhere")
+    p.add_argument("--no-optimize", action="store_true",
+                   help="keep redundant checks")
+    p.add_argument("-I", "--include", action="append", default=[],
+                   metavar="DIR", help="extra include directory")
+
+
+def cmd_cure(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    cured = cure(source, options=_options(args), name=args.file,
+                 include_dirs=args.include or None)
+    print(cured.report())
+    if not args.report:
+        print()
+        print(cured.to_c(annotate_kinds=not args.plain))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    stdin = sys.stdin.read() if args.stdin else ""
+    try:
+        if args.raw:
+            prog = parse_program(source, args.file,
+                                 include_dirs=args.include or None)
+            result = run_raw(prog, args=args.args, stdin=stdin)
+        else:
+            cured = cure(source, options=_options(args),
+                         name=args.file,
+                         include_dirs=args.include or None)
+            result = run_cured(cured, args=args.args, stdin=stdin)
+    except MemorySafetyError as exc:
+        print(result_stdout_of(exc), end="")
+        print(f"[{type(exc).__name__}] {exc}", file=sys.stderr)
+        return SAFETY_EXIT
+    except (SegmentationFault, ProgramAbort) as exc:
+        print(f"[{type(exc).__name__}] {exc}", file=sys.stderr)
+        return SAFETY_EXIT
+    sys.stdout.write(result.stdout)
+    if args.stats:
+        print(f"[exit {result.status}; {result.steps} steps; "
+              f"{result.cost.total} cycles]", file=sys.stderr)
+    return result.status
+
+
+def result_stdout_of(exc: BaseException) -> str:
+    # Output produced before the failing check is not tracked on the
+    # exception; keep the hook for future use.
+    return ""
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import all_workloads
+    for w in sorted(all_workloads(), key=lambda w: (w.category,
+                                                    w.name)):
+        print(f"{w.name:<18} [{w.category}] {w.description}")
+        print(f"{'':18} -> {w.paper_row}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_workload
+    from repro.workloads import get
+    try:
+        w = get(args.name)
+    except KeyError:
+        print(f"unknown workload {args.name!r} "
+              "(see `python -m repro workloads`)", file=sys.stderr)
+        return 2
+    tools = tuple(args.tools.split(",")) if args.tools else ("ccured",)
+    row = run_workload(w, tools=tools, scale=args.scale)
+    print(f"{row.name}: {row.lines} LoC, kinds {row.sf_sq_w_rt()}")
+    print(f"  raw      {row.raw.cycles:>12} cycles  1.00x")
+    for tool in ("ccured", "purify", "valgrind"):
+        tr = getattr(row, tool)
+        if tr is not None:
+            print(f"  {tool:<8} {tr.cycles:>12} cycles  "
+                  f"{tr.ratio(row.raw):.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CCured-in-the-Real-World reproduction driver")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cure = sub.add_parser("cure",
+                            help="analyze + instrument a C file")
+    p_cure.add_argument("file")
+    p_cure.add_argument("--report", action="store_true",
+                        help="print only the analysis report")
+    p_cure.add_argument("--plain", action="store_true",
+                        help="omit kind annotations in the output")
+    _add_cure_flags(p_cure)
+    p_cure.set_defaults(fn=cmd_cure)
+
+    p_run = sub.add_parser("run", help="cure and execute a C file")
+    p_run.add_argument("file")
+    p_run.add_argument("args", nargs="*",
+                       help="argv for the program")
+    p_run.add_argument("--raw", action="store_true",
+                       help="run uncured (hardware semantics)")
+    p_run.add_argument("--stdin", action="store_true",
+                       help="pass this process's stdin to the program")
+    p_run.add_argument("--stats", action="store_true",
+                       help="print steps/cycles to stderr")
+    _add_cure_flags(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_wl = sub.add_parser("workloads",
+                          help="list the benchmark workloads")
+    p_wl.set_defaults(fn=cmd_workloads)
+
+    p_bench = sub.add_parser("bench",
+                             help="measure one workload")
+    p_bench.add_argument("name")
+    p_bench.add_argument("--tools", default="ccured,valgrind",
+                         help="comma list: ccured,purify,valgrind")
+    p_bench.add_argument("--scale", type=int, default=None)
+    p_bench.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""The paper's contribution: CCured pointer-kind inference with
+physical subtyping, RTTI pointers, and compatible split metadata."""
+
+from repro.core.casts import (CastCensus, CastClass, CastRecord,
+                              classify_cast, classify_types)
+from repro.core.constraints import Analysis, generate
+from repro.core.curer import CuredProgram, cure
+from repro.core.metadata import (CompatibilityError, c_type, meta_type,
+                                 rep_split_boundary, rep_type)
+from repro.core.optimize import eliminate_redundant_checks
+from repro.core.options import CureOptions
+from repro.core.physical import (flatten, matched_pointer_pairs,
+                                 physical_equal, physical_subtype,
+                                 seq_compatible)
+from repro.core.qualifiers import Node, PointerKind, ensure_node, node_of
+from repro.core.rtti import RttiHierarchy, RttiNode
+from repro.core.solver import SolveResult, solve
+from repro.core.split import SplitResult, infer_split, needs_metadata
+from repro.core.transform import Instrumenter, instrument
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,144 @@
+"""Cast classification and the cast census (paper Section 3).
+
+The paper reports that "around 63% of casts are between identical
+types.  The remaining 37% were bad casts in the original CCured.  Of
+these bad casts, about 93% are safe upcasts and 6% are downcasts.  Less
+than 1% of all casts fall outside of these categories."  This module
+implements the classifier behind that census and the census itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cil import expr as E
+from repro.cil import types as T
+from repro.core.physical import physical_equal, physical_subtype
+
+
+class CastClass(enum.Enum):
+    """How a cast is classified by the extended CCured type system."""
+
+    #: Not a pointer-to-pointer cast (scalar conversions).
+    SCALAR = "scalar"
+    #: Pointer converted to an integer (always allowed).
+    PTR_TO_INT = "ptr-to-int"
+    #: Integer (or null) converted to a pointer.
+    INT_TO_PTR = "int-to-ptr"
+    #: Null literal converted to a pointer.
+    NULL_TO_PTR = "null-to-ptr"
+    #: Pointer-to-pointer, identical (physically equal) base types.
+    IDENTICAL = "identical"
+    #: Pointer-to-pointer where the target base is a physical prefix of
+    #: the source base: statically safe (Section 3.1).
+    UPCAST = "upcast"
+    #: Pointer-to-pointer where the source base is a physical prefix of
+    #: the target base: checkable at run time via RTTI (Section 3.2).
+    DOWNCAST = "downcast"
+    #: Anything else: a bad cast; the pointers involved become WILD.
+    BAD = "bad"
+    #: A bad cast the programmer asserted trusted (the escape hatch).
+    TRUSTED = "trusted"
+
+
+@dataclass
+class CastRecord:
+    """One classified cast occurrence."""
+
+    src: T.CType
+    dst: T.CType
+    cls: CastClass
+    where: str = ""
+
+
+@dataclass
+class CastCensus:
+    """Aggregate statistics over all casts in a program."""
+
+    records: list[CastRecord] = field(default_factory=list)
+
+    def add(self, rec: CastRecord) -> None:
+        self.records.append(rec)
+
+    def count(self, cls: CastClass) -> int:
+        return sum(1 for r in self.records if r.cls is cls)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def pointer_casts(self) -> int:
+        """Casts between pointer types (the census denominator)."""
+        return sum(1 for r in self.records if r.cls in (
+            CastClass.IDENTICAL, CastClass.UPCAST, CastClass.DOWNCAST,
+            CastClass.BAD, CastClass.TRUSTED))
+
+    def fractions(self) -> dict[str, float]:
+        """The paper's headline percentages.
+
+        ``identical`` is the fraction of pointer casts between identical
+        types; ``upcast``/``downcast``/``bad`` are fractions of the
+        *non-identical* pointer casts (matching how Section 3 slices
+        the numbers).
+        """
+        n = self.pointer_casts
+        ident = self.count(CastClass.IDENTICAL)
+        rest = n - ident
+        out = {
+            "identical": ident / n if n else 0.0,
+            "upcast": self.count(CastClass.UPCAST) / rest if rest
+            else 0.0,
+            "downcast": self.count(CastClass.DOWNCAST) / rest if rest
+            else 0.0,
+            "bad": (self.count(CastClass.BAD)
+                    + self.count(CastClass.TRUSTED)) / rest if rest
+            else 0.0,
+        }
+        return out
+
+    def summary(self) -> str:
+        f = self.fractions()
+        return (f"{self.pointer_casts} pointer casts: "
+                f"{f['identical']:.0%} identical; of the rest "
+                f"{f['upcast']:.0%} upcasts, {f['downcast']:.0%} "
+                f"downcasts, {f['bad']:.1%} bad "
+                f"({self.count(CastClass.TRUSTED)} trusted)")
+
+
+def classify_types(src: T.CType, dst: T.CType) -> CastClass:
+    """Classify a conversion from ``src`` to ``dst`` (types only)."""
+    us, ud = T.unroll(src), T.unroll(dst)
+    sp, dp = isinstance(us, T.TPtr), isinstance(ud, T.TPtr)
+    if not sp and not dp:
+        return CastClass.SCALAR
+    if sp and not dp:
+        return CastClass.PTR_TO_INT
+    if not sp and dp:
+        return CastClass.INT_TO_PTR
+    assert isinstance(us, T.TPtr) and isinstance(ud, T.TPtr)
+    sb, db = us.base, ud.base
+    if T.unroll(sb).sig() == T.unroll(db).sig() or physical_equal(sb, db):
+        return CastClass.IDENTICAL
+    if physical_subtype(sb, db):
+        return CastClass.UPCAST
+    if physical_subtype(db, sb):
+        return CastClass.DOWNCAST
+    return CastClass.BAD
+
+
+def classify_cast(cast: E.CastE, where: str = "") -> CastRecord:
+    """Classify one ``CastE`` occurrence."""
+    src = cast.e.type()
+    dst = cast.t
+    cls = classify_types(src, dst)
+    if cls is CastClass.INT_TO_PTR and E.is_zero(cast.e):
+        cls = CastClass.NULL_TO_PTR
+    if cast.trusted and cls in (CastClass.BAD, CastClass.DOWNCAST,
+                                CastClass.UPCAST, CastClass.IDENTICAL):
+        # Only *bad* trusted casts need trusting, but we count every
+        # __trusted_cast the programmer wrote.
+        if cls is CastClass.BAD:
+            cls = CastClass.TRUSTED
+    return CastRecord(src, dst, cls, where)

@@ -1,0 +1,165 @@
+"""The representation type constructors of the paper: Rep, C and Meta.
+
+These build actual CIL struct types so that the instrumented output can
+be printed and inspected, and so that tests can check them against the
+paper's Figures 1, 6 and 7 literally:
+
+* :func:`rep_type` — Figure 1's interleaved ("wide") representation:
+  ``Rep(t * SEQ) = struct { Rep(t) *p, *b, *e; }`` etc.
+* :func:`c_type` — Figure 6's ``C(t)``: the original C layout with all
+  pointer qualifiers stripped.
+* :func:`meta_type` — Figure 6's ``Meta(t)``: the parallel metadata
+  shape (``None`` plays the role of ``void``: no metadata needed).
+* :func:`rep_split_boundary` — Figure 7's representation of NOSPLIT
+  pointers *to* SPLIT types.
+
+The runtime does not lay values out with these structs (it keeps data
+in C layout plus shadow metadata, see ``repro/runtime/memory.py``), but
+the *cost model* charges exactly the extra words these types imply, so
+the overhead shapes match the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cil import types as T
+from repro.core.qualifiers import PointerKind
+
+_cache_rep: dict[object, T.CType] = {}
+_cache_meta: dict[object, Optional[T.CType]] = {}
+_name_counter = [0]
+
+
+def _mk_comp(prefix: str, fields: list[tuple[str, T.CType]]) -> T.TComp:
+    _name_counter[0] += 1
+    comp = T.CompInfo(True, f"__{prefix}{_name_counter[0]}")
+    comp.set_fields([T.FieldInfo(n, t) for n, t in fields])
+    return T.TComp(comp)
+
+
+def _kind_of(t: T.TPtr) -> PointerKind:
+    return t.kind
+
+
+def rep_type(t: T.CType) -> T.CType:
+    """Figure 1's ``Rep(t)``: the interleaved wide representation."""
+    u = T.unroll(t)
+    if isinstance(u, (T.TInt, T.TFloat, T.TEnum, T.TVoid)):
+        return u
+    if isinstance(u, T.TPtr):
+        k = _kind_of(u)
+        base_rep = rep_type(u.base) if not isinstance(
+            T.unroll(u.base), T.TComp) else u.base
+        bp = T.TPtr(base_rep)
+        if k is PointerKind.SAFE:
+            return _mk_comp("rep_safe", [("p", bp)])
+        if k is PointerKind.SEQ:
+            return _mk_comp("rep_seq", [("p", bp), ("b", T.TPtr(base_rep)),
+                                        ("e", T.TPtr(base_rep))])
+        if k is PointerKind.FSEQ:
+            return _mk_comp("rep_fseq", [("p", bp),
+                                         ("e", T.TPtr(base_rep))])
+        if k is PointerKind.RTTI:
+            return _mk_comp("rep_rtti", [("p", bp),
+                                         ("t", T.TPtr(T.TVoid()))])
+        return _mk_comp("rep_wild", [("p", bp), ("b", T.TPtr(base_rep))])
+    if isinstance(u, T.TArray):
+        return T.TArray(rep_type(u.base), u.length)
+    if isinstance(u, T.TComp):
+        # Structures: Rep maps over the fields.  To avoid rewriting
+        # shared CompInfos we build a parallel struct.
+        key = ("rep", u.comp.key)
+        if key in _cache_rep:
+            return _cache_rep[key]
+        out = _mk_comp(f"rep_{u.comp.name}_",
+                       [(f.name, rep_type(f.type))
+                        for f in u.comp.fields])
+        _cache_rep[key] = out
+        return out
+    return u
+
+
+def c_type(t: T.CType) -> T.CType:
+    """Figure 6's ``C(t)``: strip all pointer qualifiers.
+
+    ``C(int * SEQ * SEQ) = int **`` — structurally this is just the
+    type itself with metadata ignored; composite types keep their
+    original (library-compatible) layout.
+    """
+    return t
+
+
+def meta_type(t: T.CType) -> Optional[T.CType]:
+    """Figure 6's ``Meta(t)``; ``None`` means ``void`` (no metadata)."""
+    u = T.unroll(t)
+    if isinstance(u, (T.TInt, T.TFloat, T.TEnum, T.TVoid, T.TFun)):
+        return None
+    if isinstance(u, T.TArray):
+        inner = meta_type(u.base)
+        if inner is None:
+            return None
+        return T.TArray(inner, u.length)
+    if isinstance(u, T.TPtr):
+        k = _kind_of(u)
+        base_meta = meta_type(u.base)
+        if k is PointerKind.SAFE:
+            if base_meta is None:
+                return None
+            return _mk_comp("meta_safe", [("m", T.TPtr(base_meta))])
+        if k is PointerKind.SEQ:
+            fields: list[tuple[str, T.CType]] = [
+                ("b", T.TPtr(c_type(u.base))),
+                ("e", T.TPtr(c_type(u.base)))]
+            if base_meta is not None:
+                fields.append(("m", T.TPtr(base_meta)))
+            return _mk_comp("meta_seq", fields)
+        if k is PointerKind.FSEQ:
+            fields = [("e", T.TPtr(c_type(u.base)))]
+            if base_meta is not None:
+                fields.append(("m", T.TPtr(base_meta)))
+            return _mk_comp("meta_fseq", fields)
+        if k is PointerKind.RTTI:
+            fields = [("t", T.TPtr(T.TVoid()))]
+            if base_meta is not None:
+                fields.append(("m", T.TPtr(base_meta)))
+            return _mk_comp("meta_rtti", fields)
+        raise CompatibilityError(
+            "WILD pointers do not support the compatible (split) "
+            "representation")
+    if isinstance(u, T.TComp):
+        key = ("meta", u.comp.key)
+        if key in _cache_meta:
+            return _cache_meta[key]
+        _cache_meta[key] = None  # breaks recursion; refined below
+        fields = []
+        for f in u.comp.fields:
+            fm = meta_type(f.type)
+            if fm is not None:
+                fields.append((f.name, fm))
+        out = (_mk_comp(f"meta_{u.comp.name}_", fields)
+               if fields else None)
+        _cache_meta[key] = out
+        return out
+    return None
+
+
+def rep_split_boundary(t: T.TPtr) -> T.CType:
+    """Figure 7: the representation of a NOSPLIT pointer to a SPLIT
+    type — a pair of data and metadata pointers (plus b/e for SEQ)."""
+    k = _kind_of(t)
+    data_ptr = T.TPtr(c_type(t.base))
+    mt = meta_type(t.base)
+    fields: list[tuple[str, T.CType]] = [("p", data_ptr)]
+    if k is PointerKind.SEQ:
+        fields += [("b", T.TPtr(c_type(t.base))),
+                   ("e", T.TPtr(c_type(t.base)))]
+    if mt is not None:
+        fields.append(("m", T.TPtr(mt)))
+    return _mk_comp("rep_boundary", fields)
+
+
+class CompatibilityError(Exception):
+    """Raised when a representation cannot be made library-compatible
+    (e.g. SPLIT WILD pointers, or passing wide pointers to a library
+    without a wrapper — the paper's 'fail to link rather than crash')."""

@@ -1,0 +1,165 @@
+"""Redundant-check elimination.
+
+The paper contrasts CCured with binary tools precisely on this point:
+"without the source code and the type information it contains, Purify
+cannot statically remove checks as CCured does."  Beyond the big
+static win (SAFE pointers need only a null check; unconstrained
+pointers need none), the CCured implementation also removed *locally
+redundant* run-time checks.
+
+This pass implements that cleanup conservatively, within each straight
+-line instruction run:
+
+* a check that is syntactically identical to one already performed
+  since the last potentially-invalidating instruction is dropped
+  (e.g. the double ``__CHECK_NULL(cir)`` from ``cir->radius *
+  cir->radius``);
+* any ``Set`` or ``Call`` invalidates previous checks whose argument
+  expressions could be affected — conservatively, writes to a scalar
+  register variable invalidate only checks mentioning that variable,
+  everything else invalidates all remembered checks.
+
+The pass is sound by construction (it only removes a check when an
+identical check already protected the same values on every path) and
+is measured by the ablation benchmark ``benchmarks/test_checkelim.py``.
+"""
+
+from __future__ import annotations
+
+from repro.cil import expr as E
+from repro.cil import stmt as S
+from repro.cil.program import GFun, Program
+
+
+def _check_signature(c: S.Check) -> tuple:
+    return (c.kind, repr(c.args), c.size,
+            repr(c.rtti) if c.rtti is not None else None)
+
+
+def _vars_of_exp(e: E.Exp, out: set[int]) -> bool:
+    """Collect variable ids; returns True if the expression reads
+    through memory (a dereference, or an address-taken/global
+    variable)."""
+    if isinstance(e, E.LvalExp):
+        return _vars_of_lval(e.lval, out, is_read=True)
+    if isinstance(e, (E.AddrOf, E.StartOf)):
+        return _vars_of_lval(e.lval, out, is_read=False)
+    if isinstance(e, E.UnOp):
+        return _vars_of_exp(e.e, out)
+    if isinstance(e, E.BinOp):
+        m1 = _vars_of_exp(e.e1, out)
+        m2 = _vars_of_exp(e.e2, out)
+        return m1 or m2
+    if isinstance(e, E.CastE):
+        return _vars_of_exp(e.e, out)
+    return False
+
+
+def _vars_of_lval(lv: E.Lval, out: set[int], *,
+                  is_read: bool) -> bool:
+    reads_mem = False
+    if isinstance(lv.host, E.Var):
+        var = lv.host.var
+        out.add(var.vid)
+        if is_read and (var.is_global or var.address_taken
+                        or not isinstance(lv.offset, E.NoOffset)):
+            reads_mem = True
+    else:
+        reads_mem = True
+        _vars_of_exp(lv.host.exp, out)
+    off = lv.offset
+    while not isinstance(off, E.NoOffset):
+        if isinstance(off, E.Index):
+            if _vars_of_exp(off.index, out):
+                reads_mem = True
+        off = off.rest  # type: ignore[union-attr]
+    return reads_mem
+
+
+class _CheckCache:
+    """Remembered checks with the variables they depend on and whether
+    they read through memory."""
+
+    def __init__(self) -> None:
+        self._seen: dict[tuple, tuple[set[int], bool]] = {}
+
+    def lookup(self, sig: tuple) -> bool:
+        return sig in self._seen
+
+    def remember(self, c: S.Check, sig: tuple) -> None:
+        deps: set[int] = set()
+        reads_mem = False
+        for a in c.args:
+            if _vars_of_exp(a, deps):
+                reads_mem = True
+        self._seen[sig] = (deps, reads_mem)
+
+    def invalidate_var(self, vid: int) -> None:
+        dead = [sig for sig, (deps, _) in self._seen.items()
+                if vid in deps]
+        for sig in dead:
+            del self._seen[sig]
+
+    def invalidate_all(self) -> None:
+        self._seen.clear()
+
+    def invalidate_memory(self) -> None:
+        """A store through memory may alias anything a check read from
+        memory; register-only checks survive."""
+        dead = [sig for sig, (_, reads_mem) in self._seen.items()
+                if reads_mem]
+        for sig in dead:
+            del self._seen[sig]
+
+
+def eliminate_redundant_checks(prog: Program) -> int:
+    """Remove locally redundant Check instructions; returns the count
+    of checks removed."""
+    removed = 0
+    for g in prog.globals:
+        if isinstance(g, GFun):
+            removed += _do_block(g.fundec.body)
+    return removed
+
+
+def _do_block(b: S.Block) -> int:
+    removed = 0
+    for i, s in enumerate(b.stmts):
+        if isinstance(s, S.InstrStmt):
+            removed += _do_instrs(s)
+        elif isinstance(s, S.Block):
+            removed += _do_block(s)
+        elif isinstance(s, S.If):
+            removed += _do_block(s.then)
+            removed += _do_block(s.els)
+        elif isinstance(s, S.Loop):
+            removed += _do_block(s.body)
+    return removed
+
+
+def _do_instrs(s: S.InstrStmt) -> int:
+    cache = _CheckCache()
+    out: list[S.Instr] = []
+    removed = 0
+    for instr in s.instrs:
+        if isinstance(instr, S.Check):
+            sig = _check_signature(instr)
+            if cache.lookup(sig):
+                removed += 1
+                continue
+            cache.remember(instr, sig)
+            out.append(instr)
+            continue
+        if isinstance(instr, S.Set):
+            if isinstance(instr.lval.host, E.Var) and isinstance(
+                    instr.lval.offset, E.NoOffset):
+                cache.invalidate_var(instr.lval.host.var.vid)
+            else:
+                cache.invalidate_memory()
+            out.append(instr)
+            continue
+        # Calls can write anything.
+        cache.invalidate_all()
+        out.append(instr)
+    s.instrs = out
+    return removed

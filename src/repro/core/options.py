@@ -1,0 +1,45 @@
+"""Configuration of the curing pipeline.
+
+The flags mirror the paper's ablations:
+
+* ``use_physical=False`` disables the physical-subtyping rule of
+  Section 3.1, so upcasts become bad casts — the behaviour of the
+  original (POPL'02) CCured.
+* ``use_rtti=False`` disables RTTI pointers (Section 3.2), so downcasts
+  become bad casts — used to reproduce the ijpeg experiment where 60%
+  of pointers went WILD without RTTI.
+* ``trust_bad_casts=True`` treats remaining bad casts as trusted rather
+  than making pointers WILD — the bind configuration of Section 5
+  ("we instructed CCured to trust the remaining 380 bad casts").
+* ``all_split=True`` gives every type the compatible SPLIT
+  representation — the ablation of Section 5's "Compatible Pointer
+  Representations" paragraph (em3d +58%, anagram +7%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CureOptions:
+    use_physical: bool = True
+    use_rtti: bool = True
+    #: infer FSEQ (forward-only sequence, 2-word) pointers where the
+    #: program never moves a pointer backwards — the CCured
+    #: implementation's extra kind, off by default to match the
+    #: paper's SAFE/SEQ/WILD/RTTI presentation.
+    use_fseq: bool = False
+    trust_bad_casts: bool = False
+    all_split: bool = False
+    #: run-time checking enabled (False measures pure representation
+    #: overhead; the paper always checks).
+    checks: bool = True
+    #: remove locally redundant checks (CCured "statically removes
+    #: checks"; False measures the unoptimized instrumentation).
+    optimize_checks: bool = True
+    #: names of variables/fields the user annotated SPLIT
+    #: (``#pragma ccuredSplit("name")`` also feeds this).
+    split_roots: set[str] = field(default_factory=set)
+    #: names of variables/fields to force WILD (for tests/ablations).
+    wild_roots: set[str] = field(default_factory=set)

@@ -1,0 +1,126 @@
+"""Run-time type information for checked downcasts (paper Section 3.2).
+
+The paper represents RTTI "as nodes in a global tree data structure that
+encodes the physical subtyping hierarchy of a program", with a
+compile-time function ``rttiOf`` mapping a type to its node and a
+run-time function ``isSubtype`` checking the hierarchy.
+
+:class:`RttiHierarchy` is that structure.  It is built once per program
+from the types that occur as pointer base types; ``isSubtype`` is a
+precomputed O(1) lookup at run time (the cost model charges it as a
+small constant, like the generated code's walk up a shallow tree).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.cil import types as T
+from repro.core.physical import physical_equal, physical_subtype
+
+
+class RttiNode:
+    """A node in the physical-subtype hierarchy."""
+
+    def __init__(self, rid: int, ctype: T.CType) -> None:
+        self.rid = rid
+        self.type = ctype
+        #: rids of all physical supertypes (reflexive).
+        self.supers: set[int] = {rid}
+
+    def __repr__(self) -> str:
+        return f"<rtti {self.rid}: {self.type!r}>"
+
+
+class RttiHierarchy:
+    """The global subtype hierarchy of a program's pointed-to types."""
+
+    def __init__(self) -> None:
+        self.nodes: list[RttiNode] = []
+        self._by_sig: dict[object, int] = {}
+        # void is always present: node 0 is the top of the hierarchy.
+        self.void_id = self._add(T.TVoid())
+
+    def _add(self, ctype: T.CType) -> int:
+        sig = T.unroll(ctype).sig()
+        if sig in self._by_sig:
+            return self._by_sig[sig]
+        rid = len(self.nodes)
+        node = RttiNode(rid, ctype)
+        self.nodes.append(node)
+        self._by_sig[sig] = rid
+        return rid
+
+    def build(self, types: Iterable[T.CType]) -> None:
+        """Register the given types and compute all subtype pairs.
+
+        Physical equality classes share a node (``rttiOf`` of two
+        physically equal types is the same node), mirroring the paper's
+        use of the *physical* hierarchy rather than the nominal one.
+        """
+        for t in types:
+            u = T.unroll(t)
+            if isinstance(u, (T.TFun,)):
+                continue
+            try:
+                canon = self._canonical(u)
+            except (T.IncompleteTypeError, RecursionError):
+                canon = None
+            if canon is None:
+                self._add(u)
+            else:
+                self._by_sig[u.sig()] = canon
+        # Compute the reflexive-transitive supertype sets.
+        for a in self.nodes:
+            for b in self.nodes:
+                if a.rid == b.rid:
+                    continue
+                try:
+                    if physical_subtype(a.type, b.type):
+                        a.supers.add(b.rid)
+                except (T.IncompleteTypeError, RecursionError):
+                    pass
+
+    def _canonical(self, u: T.CType) -> Optional[int]:
+        """The node of a type physically equal to ``u``, if any."""
+        sig = u.sig()
+        if sig in self._by_sig:
+            return self._by_sig[sig]
+        for node in self.nodes:
+            if physical_equal(u, node.type):
+                return node.rid
+        return None
+
+    def rtti_of(self, ctype: T.CType) -> int:
+        """Compile-time ``rttiOf``: the node id for a static type."""
+        sig = T.unroll(ctype).sig()
+        rid = self._by_sig.get(sig)
+        if rid is None:
+            rid = self._add(T.unroll(ctype))
+            # late registration: compute supers for the new node
+            node = self.nodes[rid]
+            for other in self.nodes:
+                if other.rid == rid:
+                    continue
+                try:
+                    if physical_subtype(node.type, other.type):
+                        node.supers.add(other.rid)
+                    if physical_subtype(other.type, node.type):
+                        other.supers.add(rid)
+                except (T.IncompleteTypeError, RecursionError):
+                    pass
+        return rid
+
+    def is_subtype(self, a: int, b: int) -> bool:
+        """Run-time ``isSubtype(a, b)``: is type-node a ≤ type-node b?"""
+        return b in self.nodes[a].supers
+
+    def has_subtypes(self, ctype: T.CType) -> bool:
+        """Does ``ctype`` have *proper* physical subtypes among the
+        program's types?  (The gate on backwards RTTI propagation
+        through upcasts, paper Section 3.2.)"""
+        rid = self.rtti_of(ctype)
+        return any(rid in n.supers and n.rid != rid for n in self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,310 @@
+"""The pointer-kind solver.
+
+Given the constraints recorded by :mod:`repro.core.constraints`, assign
+every qualifier node one of SAFE / SEQ / WILD / RTTI:
+
+1. *Unify* nodes linked by ``same`` edges (representation equality)
+   with a union-find; a group's flags are the union of its members'.
+2. *Spread WILD* to a fixpoint: WILD crosses ``compat`` and ``same``
+   edges, and descends from a WILD pointer into every pointer inside
+   its base type (including through struct fields) — the paper's two
+   soundness conditions for the untyped universe.
+3. *Spread RTTI* backwards along the ``rtti_back`` edges of
+   Section 3.2, skipping nodes that are already WILD.
+4. *Check conflicts*: a node needing both arithmetic and RTTI has no
+   representation, and a SEQ cast whose base types are not
+   size-commensurate is unsound — both fall back to WILD, and WILD
+   spreading re-runs (the loop runs to a fixpoint).
+5. Assign final kinds: WILD > RTTI > SEQ > SAFE.
+
+The solver is linear-ish in practice: each node changes kind at most
+three times (SAFE→SEQ→RTTI→WILD monotonically in badness), matching
+the linear-time claim of the original paper for the cast-free core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cil import types as T
+from repro.cil.visitor import each_pointer
+from repro.core.constraints import Analysis
+from repro.core.physical import seq_compatible
+from repro.core.qualifiers import Node, PointerKind
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[int, int] = {}
+        self.by_id: dict[int, Node] = {}
+
+    def add(self, n: Node) -> None:
+        self.parent.setdefault(n.id, n.id)
+        self.by_id[n.id] = n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+@dataclass
+class SolveResult:
+    """Summary of a solver run."""
+
+    analysis: Analysis
+    iterations: int = 0
+    wild_from_seq_casts: int = 0
+    wild_from_conflicts: int = 0
+    #: nodes per final kind (every node, incl. cast occurrences)
+    kind_counts: dict[PointerKind, int] = field(default_factory=dict)
+
+    def declaration_percentages(self) -> dict[str, float]:
+        """The paper's ``% sf/sq/w/rt`` columns: fractions of *static
+        pointer declarations* per kind."""
+        decls = self.analysis.decl_nodes
+        total = len(decls) or 1
+        out = {}
+        for kind in PointerKind:
+            out[kind.name.lower()] = sum(
+                1 for n in decls if n.kind is kind) / total
+        return out
+
+
+def solve(an: Analysis) -> SolveResult:
+    result = SolveResult(an)
+    uf = _UnionFind()
+    # Union-find over representation-equality edges.  `same` neighbours
+    # may include nodes created after generation; collect via closure.
+    all_nodes = _collect_nodes(an)
+    for n in all_nodes:
+        uf.add(n)
+    for n in all_nodes:
+        for m in n.same:
+            uf.add(m)
+            uf.union(n.id, m.id)
+
+    groups: dict[int, list[Node]] = {}
+    for n in uf.by_id.values():
+        groups.setdefault(uf.find(n.id), []).append(n)
+
+    def group_of(n: Node) -> list[Node]:
+        return groups[uf.find(n.id)]
+
+    # -- fixpoint -----------------------------------------------------
+    seq_cache: dict[tuple[object, object], bool] = {}
+
+    def is_seq_ok(b1: T.CType, b2: T.CType) -> bool:
+        key = (T.unroll(b1).sig(), T.unroll(b2).sig())
+        if key not in seq_cache:
+            seq_cache[key] = seq_compatible(b1, b2)
+        return seq_cache[key]
+
+    changed = True
+    while changed:
+        result.iterations += 1
+        changed = False
+        _spread_wild(groups, uf)
+        _spread_from_int(groups, uf)
+        _spread_rtti(groups, uf)
+        _spread_seq(groups, uf)
+        # Conflict: arithmetic on an RTTI pointer has no representation.
+        for members in groups.values():
+            flags_arith = any(m.arith for m in members)
+            flags_rtti = any(m.rtti_needed and not m.wild
+                             for m in members)
+            flags_wild = any(m.wild for m in members)
+            if flags_arith and flags_rtti and not flags_wild:
+                for m in members:
+                    m.wild = True
+                    m.reason = m.reason or "arith+rtti conflict"
+                result.wild_from_conflicts += 1
+                changed = True
+        # SEQ cast obligations (paper Section 3.1's t'[n'] ≈ t[n] rule).
+        # The rule binds only when the cast goes from SEQ to SEQ: a
+        # cast into a non-arithmetic pointer is a bounds-dropping
+        # conversion and cannot re-slice the layout.
+        for ns, nd, b1, b2 in an.seq_obligations:
+            gs, gd = group_of(ns), group_of(nd)
+            if any(m.wild for m in gs) or any(m.wild for m in gd):
+                continue
+            seqish = (any(m.arith for m in gs)
+                      and any(m.arith for m in gd))
+            if seqish and not is_seq_ok(b1, b2):
+                for m in gs + gd:
+                    m.wild = True
+                    m.reason = m.reason or "SEQ cast incompatible sizes"
+                result.wild_from_seq_casts += 1
+                changed = True
+
+    # -- final assignment ---------------------------------------------
+    counts: dict[PointerKind, int] = {k: 0 for k in PointerKind}
+    use_fseq = an.options.use_fseq
+    for members in groups.values():
+        wild = any(m.wild for m in members)
+        rtti = any(m.rtti_needed for m in members)
+        arith = any(m.arith for m in members)
+        neg = any(m.neg_arith for m in members)
+        if wild:
+            kind = PointerKind.WILD
+        elif rtti:
+            kind = PointerKind.RTTI
+        elif arith and use_fseq and not neg:
+            kind = PointerKind.FSEQ
+        elif arith:
+            kind = PointerKind.SEQ
+        else:
+            kind = PointerKind.SAFE
+        for m in members:
+            m.kind = kind
+            m.solved = True
+    for n in uf.by_id.values():
+        counts[n.kind] += 1
+    result.kind_counts = counts
+    return result
+
+
+def _collect_nodes(an: Analysis) -> list[Node]:
+    """All nodes reachable from the analysis (generation may have
+    created nodes lazily beyond ``an.nodes``)."""
+    seen: dict[int, Node] = {}
+    stack = list(an.nodes)
+    while stack:
+        n = stack.pop()
+        if n.id in seen:
+            continue
+        seen[n.id] = n
+        stack.extend(n.compat)
+        stack.extend(n.same)
+        stack.extend(n.rtti_back)
+    return list(seen.values())
+
+
+def _spread_wild(groups: dict[int, list[Node]], uf: _UnionFind) -> None:
+    """Propagate WILD across compat/same edges and into base types."""
+    worklist = [n for n in uf.by_id.values() if n.wild]
+    wilded: set[int] = {n.id for n in worklist}
+
+    def make_wild(n: Node, why: str) -> None:
+        if n.id in wilded:
+            return
+        n.wild = True
+        # WILD is terminal, so the kind can be fixed immediately; this
+        # also covers nodes discovered lazily (inside WILD base types)
+        # that are not members of any union-find group.
+        n.kind = PointerKind.WILD
+        n.solved = True
+        n.reason = n.reason or why
+        wilded.add(n.id)
+        worklist.append(n)
+
+    visited_comps: set[int] = set()
+    while worklist:
+        n = worklist.pop()
+        n.wild = True
+        for m in n.compat:
+            make_wild(m, "flows to/from WILD")
+        for m in n.same:
+            make_wild(m, "representation tied to WILD")
+        if n.id in uf.parent:
+            for m in groups.get(uf.find(n.id), []):
+                make_wild(m, "representation tied to WILD")
+        # Soundness: everything reachable through the base type of a
+        # WILD pointer is WILD.
+        if n.ptr_type is not None:
+            _wild_base(n.ptr_type.base, make_wild, visited_comps)
+
+
+def _wild_base(t: T.CType, make_wild, visited_comps: set[int]) -> None:
+    def on_ptr(p: T.TPtr) -> None:
+        from repro.core.qualifiers import ensure_node
+        make_wild(ensure_node(p, "inside WILD base"),
+                  "inside WILD referent")
+        _wild_base(p.base, make_wild, visited_comps)
+
+    u = T.unroll(t)
+    if isinstance(u, T.TPtr):
+        on_ptr(u)
+    elif isinstance(u, T.TArray):
+        _wild_base(u.base, make_wild, visited_comps)
+    elif isinstance(u, T.TComp):
+        if u.comp.key in visited_comps:
+            return
+        visited_comps.add(u.comp.key)
+        for f in u.comp.fields:
+            _wild_base(f.type, make_wild, visited_comps)
+    elif isinstance(u, T.TFun):
+        # Function pointers inside WILD areas: their signature pointers
+        # go WILD as well (calls through them are tag-checked).
+        _wild_base(u.ret, make_wild, visited_comps)
+        for _, pt in (u.params or []):
+            _wild_base(pt, make_wild, visited_comps)
+
+
+def _spread_from_int(groups: dict[int, list[Node]],
+                     uf: _UnionFind) -> None:
+    """A possibly-integer pointer value (int-to-ptr cast) taints every
+    node it flows into: those can be SEQ or WILD but never SAFE."""
+    worklist = [n for n in uf.by_id.values() if n.from_int]
+    seen = {n.id for n in worklist}
+    while worklist:
+        n = worklist.pop()
+        n.from_int = True
+        if not n.wild:
+            n.arith = True  # at least SEQ
+        targets = list(n.flow_out)
+        if n.id in uf.parent:
+            targets.extend(groups.get(uf.find(n.id), []))
+        for m in targets:
+            if m.id not in seen:
+                seen.add(m.id)
+                worklist.append(m)
+
+
+def _spread_seq(groups: dict[int, list[Node]], uf: _UnionFind) -> None:
+    """Propagate the need for bounds backwards along flows: if a SEQ
+    pointer is assigned from ``x``, then ``x`` must carry bounds too.
+    Propagation stops at RTTI nodes (they manufacture bounds from their
+    dynamic type) and at WILD nodes (which carry their own bounds)."""
+    worklist = [n for n in uf.by_id.values() if n.arith and not n.wild]
+    seen = {n.id for n in worklist}
+    while worklist:
+        n = worklist.pop()
+        targets = list(n.seq_back)
+        if n.id in uf.parent:
+            targets.extend(groups.get(uf.find(n.id), []))
+        for m in targets:
+            if (m.id not in seen and not m.wild
+                    and not m.rtti_needed):
+                seen.add(m.id)
+                m.arith = True
+                if n.neg_arith:
+                    m.neg_arith = True
+                worklist.append(m)
+
+
+def _spread_rtti(groups: dict[int, list[Node]], uf: _UnionFind) -> None:
+    worklist = [n for n in uf.by_id.values()
+                if n.rtti_needed and not n.wild]
+    seen = {n.id for n in worklist}
+    while worklist:
+        n = worklist.pop()
+        if n.wild:
+            continue
+        n.rtti_needed = True
+        targets = list(n.rtti_back)
+        if n.id in uf.parent:
+            targets.extend(groups.get(uf.find(n.id), []))
+        for m in targets:
+            if m.id not in seen and not m.wild:
+                seen.add(m.id)
+                m.rtti_needed = True
+                worklist.append(m)

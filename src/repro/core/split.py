@@ -1,0 +1,187 @@
+"""SPLIT / NOSPLIT inference (paper Section 4.2).
+
+The compatible metadata representation stores a value's metadata in a
+*parallel* structure with the same shape as the data, so the data keeps
+the exact C layout a precompiled library expects.  Because the split
+representation costs extra loads/stores, CCured restricts it to where
+it is required:
+
+* roots: values passed to (or received from) uninstrumented library
+  functions whose types would otherwise embed metadata in the data, and
+  explicit programmer annotations (``#pragma ccuredSplit``);
+* SPLIT flows *down* from a pointer to its base type and from a
+  structure to its fields (SPLIT types never contain NOSPLIT types);
+* when pointers to a common referent flow together (casts and
+  assignments), their base types must agree on splitness, so SPLIT
+  spreads symmetrically across ``compat``/``same`` edges;
+* WILD pointers do not support the compatible representation (the
+  paper's stated limitation), so splitness stops at WILD nodes.
+
+The inference also computes which pointers carry a *metadata pointer*
+(``has_meta``): per Figure 6, a pointer needs one exactly when
+``Meta(base type)`` is non-void.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cil import types as T
+from repro.cil.visitor import type_occurrences
+from repro.core.constraints import Analysis
+from repro.core.qualifiers import Node, PointerKind, ensure_node
+
+
+@dataclass
+class SplitResult:
+    """Statistics of the SPLIT inference (paper Section 5 reports the
+    fraction of split pointers and of pointers needing metadata)."""
+
+    split_nodes: int = 0
+    meta_nodes: int = 0
+    total_nodes: int = 0
+
+    @property
+    def split_fraction(self) -> float:
+        return self.split_nodes / self.total_nodes \
+            if self.total_nodes else 0.0
+
+    @property
+    def meta_fraction(self) -> float:
+        """Fraction of the *split* pointers that carry a metadata
+        pointer (the paper reports 31% for bind)."""
+        return self.meta_nodes / self.split_nodes \
+            if self.split_nodes else 0.0
+
+
+def infer_split(an: Analysis) -> SplitResult:
+    """Run SPLIT inference after kinds are solved."""
+    roots: list[Node] = []
+    if an.options.all_split:
+        roots.extend(n for n in an.nodes)
+    else:
+        # Library-interface pointers whose base types would embed
+        # metadata need the compatible representation.
+        for n in an.nodes:
+            if n.interface and n.kind is not PointerKind.WILD \
+                    and _base_needs_metadata(n):
+                roots.append(n)
+        # Explicit annotations by variable/field name.
+        if an.options.split_roots:
+            targets = an.options.split_roots
+            for t, where in type_occurrences(an.prog):
+                name = where.split(" ", 1)[-1]
+                short = name.split(":")[-1].split(".")[-1]
+                if name in targets or short in targets:
+                    u = T.unroll(t)
+                    if isinstance(u, T.TPtr):
+                        roots.append(ensure_node(u, where))
+
+    # Spread splitness: symmetric across flows, downward into bases.
+    worklist = list(roots)
+    seen: set[int] = set()
+    while worklist:
+        n = worklist.pop()
+        if n.id in seen or n.kind is PointerKind.WILD:
+            continue
+        seen.add(n.id)
+        n.split = True
+        for m in n.compat:
+            worklist.append(m)
+        for m in n.same:
+            worklist.append(m)
+        _split_base(n.base_type(), worklist)
+
+    result = SplitResult()
+    result.total_nodes = len(an.decl_nodes)
+    for n in an.decl_nodes:
+        if n.split:
+            result.split_nodes += 1
+        n.has_meta = _needs_meta_pointer(n)
+        if n.split and n.has_meta:
+            result.meta_nodes += 1
+    return result
+
+
+def _split_base(t: T.CType | None, worklist: list[Node],
+                _comps: set[int] | None = None) -> None:
+    if t is None:
+        return
+    if _comps is None:
+        _comps = set()
+    u = T.unroll(t)
+    if isinstance(u, T.TPtr):
+        worklist.append(ensure_node(u, "split base"))
+    elif isinstance(u, T.TArray):
+        _split_base(u.base, worklist, _comps)
+    elif isinstance(u, T.TComp):
+        if u.comp.key in _comps:
+            return
+        _comps.add(u.comp.key)
+        for f in u.comp.fields:
+            _split_base(f.type, worklist, _comps)
+
+
+def needs_metadata(t: T.CType, _comps: set[int] | None = None) -> bool:
+    """Is ``Meta(t)`` non-void (Figure 6)?
+
+    Metadata "is only introduced by pointers that have metadata in
+    their original CCured representation" — SEQ needs b/e, RTTI needs
+    its type word — "and any type composed from a pointer that needs
+    metadata must itself have metadata."
+    """
+    if _comps is None:
+        _comps = set()
+    u = T.unroll(t)
+    if isinstance(u, T.TPtr):
+        if u.kind in (PointerKind.SEQ, PointerKind.FSEQ,
+                      PointerKind.RTTI):
+            return True
+        if u.kind is PointerKind.WILD:
+            return False  # unsupported; handled by compatibility error
+        return needs_metadata(u.base, _comps)
+    if isinstance(u, T.TArray):
+        return needs_metadata(u.base, _comps)
+    if isinstance(u, T.TComp):
+        if u.comp.key in _comps:
+            return False
+        _comps.add(u.comp.key)
+        return any(needs_metadata(f.type, _comps)
+                   for f in u.comp.fields)
+    return False
+
+
+def contains_wild(t: T.CType, _comps: set[int] | None = None) -> bool:
+    """Does ``t`` contain a WILD pointer anywhere?  WILD data requires
+    a tagged-area layout that no uninstrumented library can produce or
+    preserve, so it can never cross the library boundary."""
+    if _comps is None:
+        _comps = set()
+    u = T.unroll(t)
+    if isinstance(u, T.TPtr):
+        return u.kind is PointerKind.WILD
+    if isinstance(u, T.TArray):
+        return contains_wild(u.base, _comps)
+    if isinstance(u, T.TComp):
+        if u.comp.key in _comps:
+            return False
+        _comps.add(u.comp.key)
+        return any(contains_wild(f.type, _comps)
+                   for f in u.comp.fields)
+    return False
+
+
+def _base_needs_metadata(n: Node) -> bool:
+    base = n.base_type()
+    if base is None:
+        return False
+    return needs_metadata(base)
+
+
+def _needs_meta_pointer(n: Node) -> bool:
+    """Does this pointer's split representation include an ``m`` field
+    (Figure 6: the m field is omitted when ``Meta(base) = void``)?"""
+    base = n.base_type()
+    if base is None:
+        return False
+    return needs_metadata(base)

@@ -1,0 +1,14 @@
+"""A small C preprocessor with bundled libc headers.
+
+pycparser consumes preprocessed C; this subpackage supplies the
+preprocessing step (includes, macros, conditionals) plus the fake system
+headers that declare the runtime's builtin libc subset and the CCured
+annotation interface (``ccured.h``).
+"""
+
+from repro.cpp.preprocessor import (Preprocessor, PreprocessError, Macro,
+                                    preprocess, strip_comments,
+                                    splice_lines, tokenize)
+
+__all__ = ["Preprocessor", "PreprocessError", "Macro", "preprocess",
+           "strip_comments", "splice_lines", "tokenize"]

@@ -1,0 +1,5 @@
+#ifndef _REPRO_ASSERT_H
+#define _REPRO_ASSERT_H
+void __assert_fail(const char *expr);
+#define assert(e) ((e) ? (void)0 : __assert_fail("assertion failed"))
+#endif

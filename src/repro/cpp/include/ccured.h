@@ -1,0 +1,27 @@
+#ifndef _REPRO_CCURED_H
+#define _REPRO_CCURED_H
+/* CCured annotation interface.
+ *
+ * __trusted_cast: the controlled escape hatch of Section 3 of the paper.
+ * A cast written as  (T *)__trusted_cast(e)  is accepted even when the
+ * inference would classify it as bad; it is counted and reported so a
+ * security review can start from these casts (the bind story of Sec. 5).
+ *
+ * Wrapper helpers of Section 4.1: inside a function registered with
+ *   #pragma ccuredWrapperOf("wrapper_name", "library_name")
+ * the helpers below are specialized by the curing transformation
+ * according to the inferred pointer kinds at each instantiation site.
+ *
+ * Annotation pragmas:
+ *   #pragma ccuredSplit("var_or_field")     - request SPLIT metadata
+ *   #pragma ccuredWild("var_or_field")      - force WILD (for tests)
+ *   #pragma ccuredTrustedFunction("name")   - treat body as trusted
+ */
+void *__trusted_cast(void *p);
+void *__ptrof(void *p);          /* strip metadata -> library pointer */
+void *__mkptr(void *p, void *home); /* rebuild metadata from a home   */
+void __verify_nul(const char *s);   /* check NUL within bounds        */
+void __verify_size(void *p, unsigned int n); /* check n bytes valid   */
+unsigned int __ccured_length(void *p); /* bytes from p to end of home */
+int __io_write(void *buf, unsigned int n); /* simulated device I/O  */
+#endif

@@ -1,0 +1,6 @@
+#ifndef _REPRO_STDDEF_H
+#define _REPRO_STDDEF_H
+typedef unsigned int size_t;
+typedef int ptrdiff_t;
+#define NULL ((void *)0)
+#endif

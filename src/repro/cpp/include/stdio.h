@@ -1,0 +1,17 @@
+#ifndef _REPRO_STDIO_H
+#define _REPRO_STDIO_H
+#include <stddef.h>
+typedef struct __repro_FILE { int fd; } FILE;
+extern FILE *stdin;
+extern FILE *stdout;
+extern FILE *stderr;
+int printf(const char *format, ...);
+int fprintf(FILE *stream, const char *format, ...);
+int sprintf(char *str, const char *format, ...);
+int snprintf(char *str, size_t size, const char *format, ...);
+int puts(const char *s);
+int putchar(int c);
+int getchar(void);
+char *fgets(char *s, int size, FILE *stream);
+#define EOF (-1)
+#endif

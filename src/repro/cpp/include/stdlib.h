@@ -1,0 +1,20 @@
+#ifndef _REPRO_STDLIB_H
+#define _REPRO_STDLIB_H
+#include <stddef.h>
+void *malloc(size_t size);
+void *calloc(size_t nmemb, size_t size);
+void *realloc(void *ptr, size_t size);
+void free(void *ptr);
+void exit(int status);
+void abort(void);
+int atoi(const char *nptr);
+long atol(const char *nptr);
+int abs(int j);
+int rand(void);
+void srand(unsigned int seed);
+#define RAND_MAX 2147483647
+#define EXIT_SUCCESS 0
+#define EXIT_FAILURE 1
+void qsort(void *base, size_t nmemb, size_t size,
+           int (*compar)(const void *, const void *));
+#endif

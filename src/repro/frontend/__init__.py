@@ -1,0 +1,42 @@
+"""C frontend: preprocess, parse (pycparser), lower to CIL.
+
+The whole-program entry points here produce a single
+:class:`repro.cil.Program` from one or more C source texts or files,
+which is the unit CCured's whole-program inference operates on.
+"""
+
+from typing import Mapping, Optional, Sequence
+
+from pycparser import c_parser
+
+from repro.cil.program import Program
+from repro.cpp import preprocess
+from repro.frontend.lower import Lowerer, UnsupportedCError, fresh_type
+
+__all__ = ["parse_program", "parse_files", "Lowerer",
+           "UnsupportedCError", "fresh_type"]
+
+
+def parse_program(source: str, name: str = "program",
+                  include_dirs: Optional[Sequence[str]] = None,
+                  defines: Optional[Mapping[str, str]] = None) -> Program:
+    """Parse one C source text into a lowered whole program."""
+    return parse_files([(name + ".c", source)], name=name,
+                       include_dirs=include_dirs, defines=defines)
+
+
+def parse_files(sources: Sequence[tuple[str, str]], name: str = "program",
+                include_dirs: Optional[Sequence[str]] = None,
+                defines: Optional[Mapping[str, str]] = None) -> Program:
+    """Parse and link several ``(filename, source)`` translation units
+    into one whole program, as CCured's whole-program analysis requires."""
+    lowerer = Lowerer(name=name)
+    parser = c_parser.CParser()
+    for filename, source in sources:
+        text = preprocess(source, filename=filename,
+                          include_dirs=include_dirs, defines=defines)
+        # pycparser chokes on #pragma lines at certain positions only if
+        # malformed; ours are kept verbatim and parsed as Pragma nodes.
+        ast = parser.parse(text, filename=filename)
+        lowerer.lower_file(ast)
+    return lowerer.prog

@@ -1,0 +1,6 @@
+"""The CIL interpreter: cured and raw execution modes."""
+
+from repro.interp.interp import (ExecResult, Frame, Interpreter,
+                                 run_cured, run_raw)
+
+__all__ = ["ExecResult", "Frame", "Interpreter", "run_cured", "run_raw"]

@@ -1,0 +1,15 @@
+"""Runtime substrate: memory model, values, checks, cost model, libc."""
+
+from repro.runtime.checks import (BoundsError, CompatibilityError,
+                                  DanglingPointerError,
+                                  InterpreterLimitError, LinkError,
+                                  MemorySafetyError,
+                                  NullDereferenceError, ProgramAbort,
+                                  ProgramExit, RttiCastError,
+                                  SegmentationFault, StackEscapeError,
+                                  UninitializedError, WildTagError)
+from repro.runtime.cost import CostModel
+from repro.runtime.memory import Home, Memory, PtrMeta
+from repro.runtime.values import NULL, BlobVal, PtrVal
+
+__all__ = [name for name in dir() if not name.startswith("_")]

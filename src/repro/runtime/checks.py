@@ -1,0 +1,91 @@
+"""The memory-safety error taxonomy raised by CCured's run-time checks.
+
+Every failed check raises a subclass of :class:`MemorySafetyError`.
+A cured program can *only* terminate normally, via ``exit``, or with one
+of these errors — that is the memory-safety guarantee the paper's
+security experiments rely on ("CCured prevents known security
+exploits"): the ftpd/sendmail buffer overruns become a clean
+:class:`BoundsError` instead of corrupted memory.
+"""
+
+from __future__ import annotations
+
+
+class MemorySafetyError(Exception):
+    """Base class of all failures detected by CCured's checks."""
+
+    def __init__(self, message: str, where: str = "") -> None:
+        suffix = f" [{where}]" if where else ""
+        super().__init__(message + suffix)
+        self.where = where
+
+
+class NullDereferenceError(MemorySafetyError):
+    """A SAFE/RTTI pointer was null (or an integer disguised as a
+    pointer: a SEQ/WILD value with a null base)."""
+
+
+class BoundsError(MemorySafetyError):
+    """A SEQ or WILD access fell outside ``[b, e - size]``, an array
+    index fell outside the array, or a library wrapper found a buffer
+    too small."""
+
+
+class WildTagError(MemorySafetyError):
+    """A WILD read expected a pointer but the tag bits say the word
+    holds an integer (or vice versa)."""
+
+
+class StackEscapeError(MemorySafetyError):
+    """A pointer to stack storage was written into the heap or a
+    global — the conservative check preventing dereferences of dead
+    stack frames."""
+
+
+class RttiCastError(MemorySafetyError):
+    """A checked downcast failed: the dynamic type is not a physical
+    subtype of the destination type."""
+
+
+class DanglingPointerError(MemorySafetyError):
+    """An access through a pointer into freed storage or a popped stack
+    frame."""
+
+
+class UninitializedError(MemorySafetyError):
+    """Use of an uninitialized pointer value detected by the runtime."""
+
+
+class CompatibilityError(MemorySafetyError):
+    """A wide (metadata-bearing) value would have been passed to an
+    uninstrumented library without a wrapper or a SPLIT representation.
+    CCured reports this at link time: 'fail to link rather than crash
+    at run time' (Section 4.1)."""
+
+
+class LinkError(MemorySafetyError):
+    """An external symbol has no definition, builtin or wrapper."""
+
+
+class SegmentationFault(Exception):
+    """An *uncured* program touched unmapped memory.  This is not a
+    CCured failure: it models the hardware trap an uninstrumented
+    binary would take, and is what the baseline tools (and the exploit
+    demos) observe."""
+
+
+class ProgramExit(Exception):
+    """Normal termination via ``exit(status)``."""
+
+    def __init__(self, status: int) -> None:
+        super().__init__(f"exit({status})")
+        self.status = status
+
+
+class ProgramAbort(Exception):
+    """Termination via ``abort()`` or a failed ``assert``."""
+
+
+class InterpreterLimitError(Exception):
+    """A resource limit of the interpreter itself (step budget,
+    recursion depth, output size) was exceeded."""

@@ -1,0 +1,151 @@
+"""The deterministic cost model.
+
+The paper measures wall-clock slowdowns of gcc-compiled binaries; our
+substrate is an interpreter, so absolute times are meaningless.
+Instead every abstract machine operation is charged a deterministic
+cost in "cycles", calibrated to the published per-operation costs of
+each tool:
+
+* plain execution: 1 per instruction, 1 per memory word touched;
+* CCured: the check costs below (a null check is one compare; a SEQ
+  bounds check is two compares; WILD adds tag manipulation) plus the
+  extra words that wide representations move (Figure 1: SEQ pointers
+  are 3 words, WILD 2 words + tags, RTTI 2 words) and the extra
+  dereferences of split metadata (Section 4.2);
+* Purify instruments memory ops with a function call into its runtime
+  and maintains 2 status bits per byte — roughly 20–60 cycles per
+  access, which yields its published 25–100x slowdowns;
+* Valgrind (memcheck) JIT-translates *every* instruction (~8–15x base
+  dilation) and maintains 9 shadow bits per byte, yielding 9–130x.
+
+Because the model is deterministic, benchmark ratios are reproducible
+to the cycle; pytest-benchmark additionally reports wall-clock time of
+the interpreter itself.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cil.stmt import CheckKind
+
+#: cycles per executed CIL instruction (the "1.0x" baseline).
+COST_INSTR = 1
+#: cycles per evaluated operator (binop/unop/cast) — expressions
+#: decompose into several machine ops, which keeps the baseline honest
+#: relative to per-check costs.
+COST_EVAL_OP = 1
+#: cycles per word read/written from memory.
+COST_MEM_WORD = 1
+
+#: cycles per CCured run-time check.
+CHECK_COSTS: dict[CheckKind, int] = {
+    CheckKind.NULL: 1,
+    CheckKind.SEQ_BOUNDS: 3,
+    CheckKind.FSEQ_BOUNDS: 2,
+    CheckKind.SEQ_TO_SAFE: 3,
+    CheckKind.SAFE_TO_SEQ: 1,
+    CheckKind.WILD_BOUNDS: 6,
+    CheckKind.WILD_READ_TAG: 5,
+    CheckKind.STORE_STACK_PTR: 2,
+    CheckKind.RTTI_CAST: 4,
+    CheckKind.FUNPTR: 1,
+    CheckKind.VERIFY_NUL: 8,
+    CheckKind.VERIFY_SIZE: 2,
+    CheckKind.INDEX: 2,
+}
+
+#: extra words moved when loading/storing a wide pointer (Figure 1):
+#: SEQ = +2 (b, e), WILD = +1 (b) + tag word, RTTI = +1 (t).
+WIDE_EXTRA_WORDS = {"SEQ": 2, "FSEQ": 1, "WILD": 2, "RTTI": 1,
+                    "SAFE": 0}
+#: extra cost per split-metadata operation: unlike the interleaved
+#: layout's adjacent words, the parallel structure is a separate
+#: dereference (and in compiled code a separate cache line).
+COST_SPLIT_META = 2
+#: tag update on a WILD store.
+COST_WILD_TAG_UPDATE = 4
+
+# -- baseline tools ---------------------------------------------------------
+
+#: Purify: instrumented call into the runtime per memory access, plus
+#: shadow bit maintenance per byte.
+PURIFY_ACCESS_OVERHEAD = 150
+PURIFY_PER_BYTE = 3
+PURIFY_ALLOC_OVERHEAD = 400  # red-zone painting
+
+#: Valgrind: JIT dispatch multiplies every instruction; shadow V-bits
+#: are maintained per byte on every access.
+VALGRIND_INSTR_DILATION = 9
+VALGRIND_ACCESS_OVERHEAD = 60
+VALGRIND_PER_BYTE = 6
+VALGRIND_ALLOC_OVERHEAD = 250
+
+
+class CostModel:
+    """Accumulates cycles and per-event counts during interpretation.
+
+    The per-instruction and per-memory-access paths are the hottest
+    code in the interpreter, so they use plain integer fields; only
+    lower-frequency events (checks, wide moves, tool overheads) keep
+    named counters.
+    """
+
+    __slots__ = ("cycles", "instrs", "mems", "wides", "splits",
+                 "events")
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.instrs = 0
+        self.mems = 0
+        self.wides = 0
+        self.splits = 0
+        self.events: Counter[str] = Counter()
+
+    def charge(self, cycles: int, event: str = "",
+               count: int = 1) -> None:
+        self.cycles += cycles
+        if event:
+            self.events[event] += count
+
+    def charge_instr(self) -> None:
+        self.cycles += COST_INSTR
+        self.instrs += 1
+
+    def charge_mem(self, nbytes: int) -> None:
+        self.cycles += COST_MEM_WORD * ((nbytes + 3) >> 2 or 1)
+        self.mems += 1
+
+    def charge_check(self, kind: CheckKind) -> None:
+        self.cycles += CHECK_COSTS.get(kind, 1)
+        self.events[f"check:{kind.value}"] += 1
+
+    def charge_wide(self, kind_name: str) -> None:
+        extra = WIDE_EXTRA_WORDS.get(kind_name, 0)
+        if extra:
+            self.cycles += extra * COST_MEM_WORD
+            self.wides += 1
+
+    def charge_split(self, n_ops: int = 1) -> None:
+        self.cycles += COST_SPLIT_META * n_ops
+        self.splits += n_ops
+
+    @property
+    def total(self) -> int:
+        return self.cycles
+
+    def all_events(self) -> Counter:
+        """Named events merged with the hot counters."""
+        out = Counter(self.events)
+        out["instr"] = self.instrs
+        out["mem"] = self.mems
+        if self.wides:
+            out["wide"] = self.wides
+        if self.splits:
+            out["split"] = self.splits
+        return out
+
+    def summary(self) -> str:
+        top = ", ".join(f"{k}={v}" for k, v in
+                        self.all_events().most_common(8))
+        return f"{self.cycles} cycles ({top})"

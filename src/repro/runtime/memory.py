@@ -1,0 +1,246 @@
+"""The byte-accurate memory model.
+
+Memory is a sparse 32-bit virtual address space populated by *homes*
+(allocation units): globals, stack slots, heap blocks, string literals
+and code stubs.  Data always lives in the plain C layout, so a pointer
+stored in memory is 4 little-endian bytes holding a virtual address —
+an uninstrumented "library" routine (or a buggy uncured program) can
+scribble raw bytes and everything behaves like real hardware, including
+overflows that bleed into an adjacent home.
+
+CCured's *metadata* (a stored pointer's bounds, its RTTI word, WILD
+tags) is kept in a per-home shadow map keyed by byte offset.  This is
+the moral equivalent of the paper's two representations:
+
+* interleaved (``Rep``, Figure 1) and split (``C``/``Meta``, Figure 6)
+  layouts differ in *where the metadata lives and what it costs*, which
+  the cost model charges per the inferred representation;
+* the shadow map preserves the paper's semantics exactly: an integer
+  written over a stored pointer clears its metadata (so reading it back
+  as a SEQ/WILD pointer yields a null-base "integer disguised as
+  pointer", and reading it as a WILD pointer fails the tag check —
+  Figure 10's invariants).
+
+Homes are never reused, so dangling pointers are always detectable —
+the paper's CCured inserts its own allocator with the same property.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runtime.checks import SegmentationFault
+
+_WORD = 4
+_U32 = 0xFFFFFFFF
+
+
+@dataclass
+class PtrMeta:
+    """Shadow metadata of one stored pointer word."""
+
+    b: Optional[int] = None      # base address (SEQ/WILD bound)
+    e: Optional[int] = None      # end address (SEQ bound)
+    rtti: Optional[int] = None   # RTTI hierarchy node id
+
+
+class Home:
+    """One allocation unit."""
+
+    __slots__ = ("hid", "base", "size", "region", "data", "alive",
+                 "meta", "name", "dynamic_rtti", "frame_id")
+
+    def __init__(self, hid: int, base: int, size: int, region: str,
+                 name: str = "") -> None:
+        self.hid = hid
+        self.base = base
+        self.size = size
+        self.region = region  # "stack" | "heap" | "global" | "rodata" | "code"
+        self.data = bytearray(size)
+        self.alive = True
+        #: shadow pointer metadata, keyed by byte offset of the word
+        self.meta: dict[int, PtrMeta] = {}
+        self.name = name
+        #: the dynamic (effective) type of a heap allocation, branded on
+        #: first RTTI-checked use (malloc returns untyped memory).
+        self.dynamic_rtti: Optional[int] = None
+        self.frame_id: Optional[int] = None
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def __repr__(self) -> str:
+        state = "" if self.alive else " (freed)"
+        return (f"<home #{self.hid} {self.name or self.region} "
+                f"@0x{self.base:x}+{self.size}{state}>")
+
+
+class Memory:
+    """The virtual address space."""
+
+    #: Address space layout: regions start at fixed bases so that
+    #: diagnostic output is stable and code addresses are recognizable.
+    REGION_BASES = {"code": 0x0001_0000, "rodata": 0x0010_0000,
+                    "global": 0x0100_0000, "heap": 0x1000_0000,
+                    "stack": 0x7000_0000}
+
+    def __init__(self, *, contiguous: bool = False,
+                 gap_regions: Optional[set[str]] = None) -> None:
+        self._next = dict(Memory.REGION_BASES)
+        self._homes: list[Home] = []
+        #: sorted home base addresses for address resolution
+        self._bases: list[int] = []
+        self._by_base: list[Home] = []
+        self._next_hid = 1
+        #: Regions whose homes get a guard gap between them.  Packing
+        #: homes back to back (no gap) makes uncured overflows corrupt
+        #: the adjacent object exactly as on real hardware; a gap makes
+        #: them fault.  Purify-style red zones = gaps on the heap only.
+        if gap_regions is not None:
+            self.gap_regions = set(gap_regions)
+        elif contiguous:
+            self.gap_regions = set()
+        else:
+            self.gap_regions = {"stack", "heap", "global", "rodata",
+                                "code"}
+        self.bytes_allocated = 0
+        self.allocations = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, size: int, region: str, name: str = "") -> Home:
+        size = max(1, size)
+        base = self._next[region]
+        # align to word
+        base = (base + _WORD - 1) & ~(_WORD - 1)
+        home = Home(self._next_hid, base, size, region, name)
+        self._next_hid += 1
+        gap = _WORD if region in self.gap_regions else 0
+        self._next[region] = base + size + gap
+        # insert keeping bases sorted (allocations are monotonic per
+        # region, but regions interleave)
+        i = bisect_right(self._bases, base)
+        self._bases.insert(i, base)
+        self._by_base.insert(i, home)
+        self._homes.append(home)
+        self.bytes_allocated += size
+        self.allocations += 1
+        return home
+
+    def free(self, home: Home) -> None:
+        home.alive = False
+        home.meta.clear()
+
+    # -- address resolution -------------------------------------------------
+
+    def home_of(self, addr: int) -> Optional[Home]:
+        """The home containing ``addr``, alive or not."""
+        i = bisect_right(self._bases, addr) - 1
+        if i < 0:
+            return None
+        h = self._by_base[i]
+        return h if h.contains(addr) else None
+
+    # -- raw byte access (hardware semantics) --------------------------------
+
+    def read_raw(self, addr: int, n: int) -> bytes:
+        """Read ``n`` bytes, spanning homes; traps on unmapped bytes."""
+        out = bytearray()
+        while n > 0:
+            h = self.home_of(addr)
+            if h is None:
+                raise SegmentationFault(
+                    f"read of unmapped address 0x{addr:x}")
+            take = min(n, h.end - addr)
+            off = addr - h.base
+            out += h.data[off:off + take]
+            addr += take
+            n -= take
+        return bytes(out)
+
+    def write_raw(self, addr: int, data: bytes) -> None:
+        """Write bytes, spanning homes (so an uncured overflow corrupts
+        the neighbour, as on hardware); traps on unmapped bytes.
+        Overwritten pointer words lose their shadow metadata."""
+        pos = 0
+        n = len(data)
+        while pos < n:
+            h = self.home_of(addr)
+            if h is None:
+                raise SegmentationFault(
+                    f"write to unmapped address 0x{addr:x}")
+            take = min(n - pos, h.end - addr)
+            off = addr - h.base
+            h.data[off:off + take] = data[pos:pos + take]
+            # clobber any shadow metadata whose word overlaps the write
+            if h.meta:
+                lo = (off // _WORD) * _WORD
+                hi = off + take
+                for moff in [m for m in h.meta if lo <= m < hi]:
+                    del h.meta[moff]
+            addr += take
+            pos += take
+
+    # -- typed scalar access --------------------------------------------------
+
+    def read_int(self, addr: int, size: int, signed: bool) -> int:
+        raw = self.read_raw(addr, size)
+        return int.from_bytes(raw, "little", signed=signed)
+
+    def write_int(self, addr: int, value: int, size: int) -> None:
+        value &= (1 << (8 * size)) - 1
+        self.write_raw(addr, value.to_bytes(size, "little"))
+
+    def read_float(self, addr: int, size: int) -> float:
+        raw = self.read_raw(addr, size)
+        return struct.unpack("<f" if size == 4 else "<d", raw)[0]
+
+    def write_float(self, addr: int, value: float, size: int) -> None:
+        fmt = "<f" if size == 4 else "<d"
+        try:
+            self.write_raw(addr, struct.pack(fmt, value))
+        except OverflowError:
+            self.write_raw(addr, struct.pack(
+                fmt, float("inf") if value > 0 else float("-inf")))
+
+    # -- pointer access (word + shadow metadata) ------------------------------
+
+    def write_ptr(self, addr: int, value: int,
+                  meta: Optional[PtrMeta]) -> None:
+        self.write_raw(addr, (value & _U32).to_bytes(4, "little"))
+        h = self.home_of(addr)
+        if h is not None:
+            off = addr - h.base
+            if meta is not None:
+                h.meta[off] = meta
+            else:
+                h.meta.pop(off, None)
+
+    def read_ptr(self, addr: int) -> tuple[int, Optional[PtrMeta]]:
+        value = int.from_bytes(self.read_raw(addr, 4), "little")
+        h = self.home_of(addr)
+        meta = h.meta.get(addr - h.base) if h is not None else None
+        return value, meta
+
+    def has_ptr_tag(self, addr: int) -> bool:
+        """The WILD tag of the word at ``addr``: set iff the last store
+        there was a valid pointer (Figure 10's tag invariant)."""
+        h = self.home_of(addr)
+        return h is not None and (addr - h.base) in h.meta
+
+    # -- statistics ----------------------------------------------------------
+
+    def live_heap_bytes(self) -> int:
+        return sum(h.size for h in self._homes
+                   if h.region == "heap" and h.alive)
+
+    def __repr__(self) -> str:
+        return (f"<memory: {self.allocations} allocations, "
+                f"{self.bytes_allocated} bytes>")

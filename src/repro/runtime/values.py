@@ -1,0 +1,90 @@
+"""Run-time values of the interpreter.
+
+Scalars are Python ints/floats.  Pointers are :class:`PtrVal` — a fat
+value carrying the address plus whatever metadata its kind maintains
+(Figure 1 / Figure 10 of the paper):
+
+* SAFE uses only ``addr``;
+* SEQ uses ``addr``, ``b`` and ``e`` (``b is None`` encodes the
+  "integer disguised as a pointer" state with a null base);
+* WILD uses ``addr`` and ``b``, with the area length and tags coming
+  from the home;
+* RTTI uses ``addr`` and ``rtti`` (a node id in the RTTI hierarchy).
+
+A ``PtrVal`` always carries every field it happens to know, regardless
+of the static kind; checks consult the fields the kind prescribes.
+This mirrors the invariant structure of Figure 10 while letting the
+same value flow through kind conversions without loss.
+
+Aggregate (struct/array) values are :class:`BlobVal`: raw bytes plus
+the shadow metadata of any pointers inside, used for whole-struct
+assignment and struct-by-value argument passing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime.memory import PtrMeta
+
+
+class PtrVal:
+    """A fat pointer value."""
+
+    __slots__ = ("addr", "b", "e", "rtti")
+
+    def __init__(self, addr: int, b: Optional[int] = None,
+                 e: Optional[int] = None,
+                 rtti: Optional[int] = None) -> None:
+        self.addr = addr & 0xFFFFFFFF
+        self.b = b
+        self.e = e
+        self.rtti = rtti
+
+    @property
+    def is_null(self) -> bool:
+        return self.addr == 0
+
+    def with_addr(self, addr: int) -> "PtrVal":
+        return PtrVal(addr, self.b, self.e, self.rtti)
+
+    def meta(self) -> Optional[PtrMeta]:
+        if self.b is None and self.e is None and self.rtti is None:
+            return None
+        return PtrMeta(self.b, self.e, self.rtti)
+
+    @staticmethod
+    def from_meta(addr: int, meta: Optional[PtrMeta]) -> "PtrVal":
+        if meta is None:
+            return PtrVal(addr)
+        return PtrVal(addr, meta.b, meta.e, meta.rtti)
+
+    def __repr__(self) -> str:
+        parts = [f"0x{self.addr:x}"]
+        if self.b is not None:
+            parts.append(f"b=0x{self.b:x}")
+        if self.e is not None:
+            parts.append(f"e=0x{self.e:x}")
+        if self.rtti is not None:
+            parts.append(f"rtti={self.rtti}")
+        return f"<ptr {' '.join(parts)}>"
+
+
+NULL = PtrVal(0)
+
+
+class BlobVal:
+    """A struct/array value: bytes plus shadow metadata by offset."""
+
+    __slots__ = ("data", "meta")
+
+    def __init__(self, data: bytes,
+                 meta: Optional[dict[int, PtrMeta]] = None) -> None:
+        self.data = data
+        self.meta = meta or {}
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"<blob {len(self.data)} bytes, {len(self.meta)} ptrs>"

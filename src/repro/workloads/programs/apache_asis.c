@@ -1,0 +1,43 @@
+/* apache_asis.c — mod_asis-like: send a stored file verbatim,
+ * parsing an embedded status/header prefix (paper Fig. 8, 149 LoC). */
+#include "apache_core.h"
+
+static const char *asis_body =
+    "Status: 200 OK\n"
+    "Content-Type: text/plain\n"
+    "\n"
+    "This file is sent as-is by the asis handler.\n";
+
+static int module_handler(struct request_rec *r) {
+    const char *p = asis_body;
+    char header[48];
+    int hlen;
+    /* parse the leading header block (lines until the blank line) */
+    while (*p != 0) {
+        const char *nl = strchr(p, '\n');
+        if (nl == (const char *)0)
+            break;
+        hlen = (int)(nl - p);
+        if (hlen == 0) {
+            p = nl + 1;
+            break;  /* end of headers: rest is the body */
+        }
+        if (hlen < (int)sizeof(header)) {
+            strncpy(header, p, hlen);
+            header[hlen] = 0;
+            if (strncmp(header, "Status:", 7) == 0)
+                r->status = atoi(header + 7);
+            else {
+                char *colon = strchr(header, ':');
+                if (colon != (char *)0) {
+                    *colon = 0;
+                    ap_table_set(r->pool, r->headers_out, header,
+                                 colon + 1);
+                }
+            }
+        }
+        p = nl + 1;
+    }
+    r->bytes_sent = (int)strlen(p);
+    return OK;
+}

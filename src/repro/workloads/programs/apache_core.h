@@ -1,0 +1,172 @@
+/* apache_core.h — the shared substrate for the Apache-module
+ * workloads (paper Figure 8).
+ *
+ * Reproduces the parts of Apache 1.3's module API that the paper's
+ * modules exercise: a request record, a pool allocator (the classic
+ * custom-allocator-with-trusted-cast pattern the paper calls out), a
+ * key/value table, and a request driver that simulates the paper's
+ * test of "1,000 requests for files of sizes of 1, 10, and 100K".
+ */
+#ifndef APACHE_CORE_H
+#define APACHE_CORE_H
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ccured.h>
+
+#ifndef SCALE
+#define SCALE 3
+#endif
+#define N_REQUESTS (SCALE * 20)
+
+/* ---- pools: a bump allocator over malloc'd blocks ---------------- */
+
+struct pool {
+    char *block;
+    int used;
+    int size;
+};
+
+static struct pool *ap_make_pool(int size) {
+    struct pool *p = (struct pool *)malloc(sizeof(struct pool));
+    p->block = (char *)malloc(size);
+    p->used = 0;
+    p->size = size;
+    return p;
+}
+
+static void *ap_palloc(struct pool *p, int n) {
+    char *out;
+    n = (n + 3) & ~3;
+    if (p->used + n > p->size)
+        return (void *)0;
+    out = p->block + p->used;
+    p->used += n;
+    return (void *)out;
+}
+
+static char *ap_pstrdup(struct pool *p, const char *s) {
+    int n = (int)strlen(s) + 1;
+    /* carving typed data out of a char block: the custom-allocator
+     * cast the paper handles with a trusted cast (Section 3) */
+    char *out = (char *)__trusted_cast(ap_palloc(p, n));
+    if (out != (char *)0)
+        strcpy(out, s);
+    return out;
+}
+
+/* ---- tables: linear key/value lists ------------------------------- */
+
+#define TABLE_MAX 16
+
+struct table {
+    char *keys[TABLE_MAX];
+    char *vals[TABLE_MAX];
+    int n;
+};
+
+static struct table *ap_make_table(struct pool *p) {
+    struct table *t = (struct table *)__trusted_cast(
+        ap_palloc(p, (int)sizeof(struct table)));
+    t->n = 0;
+    return t;
+}
+
+static void ap_table_set(struct pool *p, struct table *t,
+                         const char *key, const char *val) {
+    int i;
+    for (i = 0; i < t->n; i++) {
+        if (strcmp(t->keys[i], key) == 0) {
+            t->vals[i] = ap_pstrdup(p, val);
+            return;
+        }
+    }
+    if (t->n < TABLE_MAX) {
+        t->keys[t->n] = ap_pstrdup(p, key);
+        t->vals[t->n] = ap_pstrdup(p, val);
+        t->n++;
+    }
+}
+
+static char *ap_table_get(struct table *t, const char *key) {
+    int i;
+    for (i = 0; i < t->n; i++)
+        if (strcmp(t->keys[i], key) == 0)
+            return t->vals[i];
+    return (char *)0;
+}
+
+/* ---- the request record ------------------------------------------- */
+
+struct request_rec {
+    struct pool *pool;
+    char uri[64];
+    char filename[64];
+    int content_length;
+    int status;
+    struct table *headers_in;
+    struct table *headers_out;
+    int bytes_sent;
+};
+
+#define OK 0
+#define DECLINED (-1)
+
+/* ---- driver --------------------------------------------------------- */
+
+static unsigned int ap_seed = 5;
+
+static int ap_rand(int limit) {
+    ap_seed = ap_seed * 1103515245 + 12345;
+    return (int)((ap_seed >> 8) % (unsigned int)limit);
+}
+
+static const int ap_sizes[3] = { 1024, 10240, 102400 };
+
+static void ap_init_request(struct request_rec *r, struct pool *p,
+                            int reqno) {
+    r->pool = p;
+    sprintf(r->uri, "/site/page%d.html", reqno % 23);
+    sprintf(r->filename, "/var/www%s", r->uri);
+    r->content_length = ap_sizes[reqno % 3];
+    r->status = 200;
+    r->headers_in = ap_make_table(p);
+    r->headers_out = ap_make_table(p);
+    r->bytes_sent = 0;
+    ap_table_set(p, r->headers_in, "Host", "www.example.org");
+    ap_table_set(p, r->headers_in, "User-Agent",
+                 reqno % 2 == 0 ? "WebStone/2.5" : "Mozilla/4.7");
+    if (reqno % 4 == 0)
+        ap_table_set(p, r->headers_in, "Accept-Encoding", "gzip");
+}
+
+/* each module defines this */
+static int module_handler(struct request_rec *r);
+
+int main(void) {
+    int i;
+    long handled = 0, declined = 0, bytes = 0;
+    for (i = 0; i < N_REQUESTS; i++) {
+        struct pool *p = ap_make_pool(4096);
+        struct request_rec r;
+        int rc;
+        ap_init_request(&r, p, i);
+        rc = module_handler(&r);
+        if (rc == OK)
+            handled++;
+        else
+            declined++;
+        bytes += r.bytes_sent;
+        /* send the response on the wire: the I/O that dominates the
+         * paper's Apache measurements */
+        __io_write((void *)r.uri, (unsigned int)r.content_length);
+        free(p->block);
+        free(p);
+    }
+    printf("module: handled=%ld declined=%ld bytes=%ld\n",
+           handled, declined, bytes);
+    return (int)((handled * 3 + bytes) % 97);
+}
+
+#endif /* APACHE_CORE_H */

@@ -1,0 +1,43 @@
+/* apache_expires.c — mod_expires-like: compute an Expires header from
+ * per-type base + delta rules (paper Fig. 8, 525 LoC). */
+#include "apache_core.h"
+
+struct expire_rule {
+    const char *suffix;
+    int base;       /* 0 = access time, 1 = modification time */
+    int seconds;
+};
+
+static const struct expire_rule rules[4] = {
+    { ".html", 0, 3600 },
+    { ".gif", 0, 86400 },
+    { ".css", 1, 7200 },
+    { ".js", 1, 7200 },
+};
+
+static int ends_with(const char *s, const char *suffix) {
+    int ls = (int)strlen(s);
+    int lt = (int)strlen(suffix);
+    if (lt > ls)
+        return 0;
+    return strcmp(s + (ls - lt), suffix) == 0;
+}
+
+static int module_handler(struct request_rec *r) {
+    int now = 1000000 + ap_rand(10000);
+    int i;
+    char buf[48];
+    for (i = 0; i < 4; i++) {
+        if (ends_with(r->uri, rules[i].suffix)) {
+            int when = now + rules[i].seconds
+                + (rules[i].base == 1 ? -137 : 0);
+            sprintf(buf, "t=%d", when);
+            ap_table_set(r->pool, r->headers_out, "Expires", buf);
+            ap_table_set(r->pool, r->headers_out, "Cache-Control",
+                         "max-age");
+            r->bytes_sent = rules[i].seconds % 100;
+            return OK;
+        }
+    }
+    return DECLINED;
+}

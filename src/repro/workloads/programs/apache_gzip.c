@@ -1,0 +1,86 @@
+/* apache_gzip.c — mod_gzip-like: compress response bodies when the
+ * client accepts it.  The paper's largest module (11,648 LoC); here a
+ * full LZ77-style window matcher with a greedy emitter stands in for
+ * the deflate machinery. */
+#include "apache_core.h"
+
+#define WINDOW 24
+#define MIN_MATCH 3
+#define BODY_MAX 512
+
+static int make_body(struct request_rec *r, char *body, int max) {
+    /* synthesize a compressible body derived from the request */
+    int n = 0;
+    int target = r->content_length / 768;
+    if (target > 120)
+        target = 120;
+    while (n < target) {
+        int k = ap_rand(3);
+        const char *chunk = k == 0 ? "<p>hello world</p>"
+            : (k == 1 ? "<div class=x></div>" : "0123456789");
+        int cl = (int)strlen(chunk);
+        if (n + cl >= max)
+            break;
+        strcpy(body + n, chunk);
+        n += cl;
+    }
+    body[n] = 0;
+    return n;
+}
+
+static int find_match(const char *data, int pos, int len,
+                      int *match_pos) {
+    int best = 0, best_pos = -1;
+    int start = pos - WINDOW;
+    int i;
+    if (start < 0)
+        start = 0;
+    for (i = start; i < pos; i++) {
+        int l = 0;
+        while (pos + l < len && data[i + l] == data[pos + l]
+               && l < 255 && i + l < pos)
+            l++;
+        if (l > best) {
+            best = l;
+            best_pos = i;
+        }
+    }
+    *match_pos = best_pos;
+    return best;
+}
+
+static int gzip_compress(const char *data, int len, char *out,
+                         int outmax) {
+    int pos = 0, n = 0;
+    while (pos < len && n + 4 < outmax) {
+        int mp;
+        int ml = find_match(data, pos, len, &mp);
+        if (ml >= MIN_MATCH) {
+            out[n] = (char)0x80;            /* match marker */
+            out[n + 1] = (char)(pos - mp);  /* distance */
+            out[n + 2] = (char)ml;          /* length */
+            n += 3;
+            pos += ml;
+        } else {
+            out[n] = data[pos];
+            n++;
+            pos++;
+        }
+    }
+    return n;
+}
+
+static int module_handler(struct request_rec *r) {
+    char body[BODY_MAX];
+    char packed[BODY_MAX];
+    char *accepts = ap_table_get(r->headers_in, "Accept-Encoding");
+    int blen, plen;
+    if (accepts == (char *)0
+            || strstr(accepts, "gzip") == (char *)0)
+        return DECLINED;
+    blen = make_body(r, body, BODY_MAX);
+    plen = gzip_compress(body, blen, packed, BODY_MAX);
+    ap_table_set(r->pool, r->headers_out, "Content-Encoding", "gzip");
+    r->bytes_sent = plen;
+    return OK;
+}

@@ -1,0 +1,50 @@
+/* apache_headers.c — mod_headers-like: add/append/unset response
+ * headers from a rule list (paper Fig. 8, 281 LoC). */
+#include "apache_core.h"
+
+struct header_rule {
+    int action;          /* 0=set 1=append 2=unset 3=echo */
+    const char *name;
+    const char *value;
+};
+
+static const struct header_rule hrules[4] = {
+    { 0, "X-Server", "repro/1.0" },
+    { 1, "Cache-Control", "private" },
+    { 3, "Host", "" },
+    { 0, "X-Frame-Options", "DENY" },
+};
+
+static int module_handler(struct request_rec *r) {
+    int i, applied = 0;
+    char merged[64];
+    for (i = 0; i < 4; i++) {
+        const struct header_rule *h = &hrules[i];
+        if (h->action == 0) {
+            ap_table_set(r->pool, r->headers_out, h->name, h->value);
+            applied++;
+        } else if (h->action == 1) {
+            char *old = ap_table_get(r->headers_out, h->name);
+            if (old != (char *)0 && (int)(strlen(old)
+                    + strlen(h->value)) + 3 < (int)sizeof(merged)) {
+                strcpy(merged, old);
+                strcat(merged, ", ");
+                strcat(merged, h->value);
+                ap_table_set(r->pool, r->headers_out, h->name,
+                             merged);
+            } else {
+                ap_table_set(r->pool, r->headers_out, h->name,
+                             h->value);
+            }
+            applied++;
+        } else if (h->action == 3) {
+            char *in = ap_table_get(r->headers_in, h->name);
+            if (in != (char *)0) {
+                ap_table_set(r->pool, r->headers_out, "X-Echo", in);
+                applied++;
+            }
+        }
+    }
+    r->bytes_sent = applied * 16;
+    return OK;
+}

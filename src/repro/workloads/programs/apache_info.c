@@ -1,0 +1,43 @@
+/* apache_info.c — mod_info-like: render the server configuration into
+ * an HTML-ish buffer (paper Fig. 8, 786 LoC). */
+#include "apache_core.h"
+
+struct directive {
+    const char *name;
+    const char *value;
+};
+
+static const struct directive config[6] = {
+    { "ServerRoot", "/usr/local/apache" },
+    { "Timeout", "300" },
+    { "KeepAlive", "On" },
+    { "MaxClients", "150" },
+    { "DocumentRoot", "/var/www" },
+    { "LogLevel", "warn" },
+};
+
+static int emit(char *out, int pos, int max, const char *text) {
+    int n = (int)strlen(text);
+    if (pos + n >= max)
+        return pos;
+    strcpy(out + pos, text);
+    return pos + n;
+}
+
+static int module_handler(struct request_rec *r) {
+    char page[512];
+    int pos = 0, i;
+    if (strstr(r->uri, "page7") == (char *)0)
+        return DECLINED;   /* only the /server-info style page */
+    pos = emit(page, pos, 512, "<html><h1>Server Info</h1><dl>");
+    for (i = 0; i < 6; i++) {
+        pos = emit(page, pos, 512, "<dt>");
+        pos = emit(page, pos, 512, config[i].name);
+        pos = emit(page, pos, 512, "</dt><dd>");
+        pos = emit(page, pos, 512, config[i].value);
+        pos = emit(page, pos, 512, "</dd>");
+    }
+    pos = emit(page, pos, 512, "</dl></html>");
+    r->bytes_sent = pos;
+    return OK;
+}

@@ -1,0 +1,39 @@
+/* apache_layout.c — mod_layout-like: wrap the body with a header and
+ * footer template, substituting %URI% (paper Fig. 8, 309 LoC). */
+#include "apache_core.h"
+
+static const char *tmpl_header =
+    "<html><head><title>%URI%</title></head><body>";
+static const char *tmpl_footer =
+    "<hr>served: %URI%</body></html>";
+
+static int substitute(const char *tmpl, const char *uri, char *out,
+                      int max) {
+    int n = 0;
+    const char *p = tmpl;
+    while (*p != 0 && n + 1 < max) {
+        if (strncmp(p, "%URI%", 5) == 0) {
+            int ul = (int)strlen(uri);
+            if (n + ul >= max)
+                break;
+            strcpy(out + n, uri);
+            n += ul;
+            p = p + 5;
+        } else {
+            out[n] = *p;
+            n++;
+            p++;
+        }
+    }
+    out[n] = 0;
+    return n;
+}
+
+static int module_handler(struct request_rec *r) {
+    char head[160];
+    char foot[160];
+    int hn = substitute(tmpl_header, r->uri, head, 160);
+    int fn = substitute(tmpl_footer, r->uri, foot, 160);
+    r->bytes_sent = hn + r->content_length / 512 + fn;
+    return OK;
+}

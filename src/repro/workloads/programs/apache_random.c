@@ -1,0 +1,19 @@
+/* apache_random.c — mod_random-like: redirect to a randomly chosen
+ * target URL (paper Fig. 8, 131 LoC). */
+#include "apache_core.h"
+
+static const char *targets[5] = {
+    "/mirror/a", "/mirror/b", "/mirror/c", "/mirror/d", "/mirror/e",
+};
+
+static int module_handler(struct request_rec *r) {
+    int pick = ap_rand(5);
+    char location[64];
+    if (strncmp(r->uri, "/site/", 6) != 0)
+        return DECLINED;
+    sprintf(location, "%s%s", targets[pick], r->uri + 5);
+    ap_table_set(r->pool, r->headers_out, "Location", location);
+    r->status = 302;
+    r->bytes_sent = (int)strlen(location);
+    return OK;
+}

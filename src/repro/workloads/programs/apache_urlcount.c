@@ -1,0 +1,55 @@
+/* apache_urlcount.c — urlcount-like: count visits per URL in a small
+ * hash table with chaining in a pool (paper Fig. 8, 702 LoC). */
+#include "apache_core.h"
+
+#define BUCKETS 8
+
+struct count_node {
+    char url[64];
+    int hits;
+    struct count_node *next;
+};
+
+static struct count_node *buckets[BUCKETS];
+static struct pool *count_pool;
+
+static int hash_url(const char *s) {
+    unsigned int h = 5381;
+    while (*s != 0) {
+        h = h * 33 + (unsigned int)*s;
+        s++;
+    }
+    return (int)(h % BUCKETS);
+}
+
+static struct count_node *lookup_or_add(const char *url) {
+    int b = hash_url(url);
+    struct count_node *n = buckets[b];
+    while (n != (struct count_node *)0) {
+        if (strcmp(n->url, url) == 0)
+            return n;
+        n = n->next;
+    }
+    n = (struct count_node *)__trusted_cast(
+        ap_palloc(count_pool, (int)sizeof(struct count_node)));
+    if (n == (struct count_node *)0)
+        return n;
+    strncpy(n->url, url, 63);
+    n->url[63] = 0;
+    n->hits = 0;
+    n->next = buckets[b];
+    buckets[b] = n;
+    return n;
+}
+
+static int module_handler(struct request_rec *r) {
+    struct count_node *n;
+    if (count_pool == (struct pool *)0)
+        count_pool = ap_make_pool(8192);
+    n = lookup_or_add(r->uri);
+    if (n == (struct count_node *)0)
+        return DECLINED;
+    n->hits++;
+    r->bytes_sent = n->hits;
+    return OK;
+}

@@ -1,0 +1,36 @@
+/* apache_usertrack.c — mod_usertrack-like: parse/issue tracking
+ * cookies (paper Fig. 8, 409 LoC). */
+#include "apache_core.h"
+
+static int parse_cookie(const char *header, char *id_out, int max) {
+    const char *p = strstr(header, "Apache=");
+    int n = 0;
+    if (p == (const char *)0)
+        return 0;
+    p = p + 7;
+    while (*p != 0 && *p != ';' && n + 1 < max) {
+        id_out[n] = *p;
+        n++;
+        p++;
+    }
+    id_out[n] = 0;
+    return n;
+}
+
+static int module_handler(struct request_rec *r) {
+    char *cookie = ap_table_get(r->headers_in, "Cookie");
+    char id[32];
+    char setc[64];
+    if (cookie != (char *)0 && parse_cookie(cookie, id, 32) > 0) {
+        ap_table_set(r->pool, r->headers_out, "X-Returning", id);
+        r->bytes_sent = (int)strlen(id);
+        return OK;
+    }
+    sprintf(setc, "Apache=%d%d", 100000 + ap_rand(899999),
+            ap_rand(997));
+    ap_table_set(r->pool, r->headers_out, "Set-Cookie", setc);
+    /* remember it for the next request of this simulation */
+    ap_table_set(r->pool, r->headers_in, "Cookie", setc);
+    r->bytes_sent = (int)strlen(setc);
+    return OK;
+}

@@ -1,0 +1,118 @@
+/* apache_webstone.c — the WebStone 2.5 "manyfiles" row of Fig. 8:
+ * every request is processed by a chain of five modules (expires,
+ * gzip, headers, urlcount, usertrack), as in the paper's test. */
+#include "apache_core.h"
+
+/* ---- expires ---- */
+static int h_expires(struct request_rec *r) {
+    char buf[32];
+    if (strstr(r->uri, ".html") == (char *)0)
+        return DECLINED;
+    sprintf(buf, "t=%d", 1000000 + r->content_length % 7777);
+    ap_table_set(r->pool, r->headers_out, "Expires", buf);
+    return OK;
+}
+
+/* ---- gzip (tiny RLE stand-in for the chained configuration) ---- */
+static int h_gzip(struct request_rec *r) {
+    char body[128];
+    char out[128];
+    int i, n = 0, o = 0;
+    char *acc = ap_table_get(r->headers_in, "Accept-Encoding");
+    if (acc == (char *)0)
+        return DECLINED;
+    for (i = 0; i < 96; i++)
+        body[i] = (char)('a' + (i / 7) % 4);
+    body[96] = 0;
+    n = 96;
+    for (i = 0; i < n && o + 2 < 128;) {
+        int run = 1;
+        while (i + run < n && body[i + run] == body[i] && run < 9)
+            run++;
+        out[o] = body[i];
+        out[o + 1] = (char)('0' + run);
+        o += 2;
+        i += run;
+    }
+    ap_table_set(r->pool, r->headers_out, "Content-Encoding",
+                 "gzip");
+    r->bytes_sent += o;
+    return OK;
+}
+
+/* ---- headers ---- */
+static int h_headers(struct request_rec *r) {
+    ap_table_set(r->pool, r->headers_out, "X-Server", "repro/1.0");
+    char *host = ap_table_get(r->headers_in, "Host");
+    if (host != (char *)0)
+        ap_table_set(r->pool, r->headers_out, "X-Host", host);
+    return OK;
+}
+
+/* ---- urlcount ---- */
+#define WS_BUCKETS 8
+struct ws_count {
+    char url[64];
+    int hits;
+    struct ws_count *next;
+};
+static struct ws_count *ws_buckets[WS_BUCKETS];
+static struct pool *ws_pool;
+
+static int h_urlcount(struct request_rec *r) {
+    unsigned int h = 5381;
+    const char *s = r->uri;
+    struct ws_count *n;
+    int b;
+    while (*s != 0) {
+        h = h * 33 + (unsigned int)*s;
+        s++;
+    }
+    b = (int)(h % WS_BUCKETS);
+    if (ws_pool == (struct pool *)0)
+        ws_pool = ap_make_pool(8192);
+    n = ws_buckets[b];
+    while (n != (struct ws_count *)0
+           && strcmp(n->url, r->uri) != 0)
+        n = n->next;
+    if (n == (struct ws_count *)0) {
+        n = (struct ws_count *)__trusted_cast(
+            ap_palloc(ws_pool, (int)sizeof(struct ws_count)));
+        if (n == (struct ws_count *)0)
+            return DECLINED;
+        strncpy(n->url, r->uri, 63);
+        n->url[63] = 0;
+        n->hits = 0;
+        n->next = ws_buckets[b];
+        ws_buckets[b] = n;
+    }
+    n->hits++;
+    return OK;
+}
+
+/* ---- usertrack ---- */
+static int h_usertrack(struct request_rec *r) {
+    char setc[48];
+    char *cookie = ap_table_get(r->headers_in, "Cookie");
+    if (cookie != (char *)0)
+        return OK;
+    sprintf(setc, "Apache=%d", 100000 + ap_rand(899999));
+    ap_table_set(r->pool, r->headers_out, "Set-Cookie", setc);
+    return OK;
+}
+
+static int module_handler(struct request_rec *r) {
+    int applied = 0;
+    if (h_expires(r) == OK)
+        applied++;
+    if (h_gzip(r) == OK)
+        applied++;
+    if (h_headers(r) == OK)
+        applied++;
+    if (h_urlcount(r) == OK)
+        applied++;
+    if (h_usertrack(r) == OK)
+        applied++;
+    r->bytes_sent += applied * 11 + r->content_length / 1024;
+    return applied > 0 ? OK : DECLINED;
+}

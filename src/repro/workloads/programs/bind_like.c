@@ -1,0 +1,310 @@
+/* bind_like.c — a bind-9.2-like workload.
+ *
+ * The paper's largest subject (Fig. 9: 336k LoC, 79/21/0/0; tasks
+ * 1.11x, sockaddr 1.50x, overall up to 1.81x).  Section 5 reports:
+ * "CCured's qualifier inference classifies 30% of the pointers in
+ * bind's unmodified source as WILD as a result of 530 bad casts...
+ * Once we turn on the use of RTTI, 150 of the bad casts (28%) proved
+ * to be downcasts that can be checked at run time.  We instructed
+ * CCured to trust the remaining 380 bad casts."
+ *
+ * Reproduced traits:
+ *  - DNS message parsing: label-compressed names in byte buffers;
+ *  - a resource-record hierarchy (rr base + A/NS/TXT variants) stored
+ *    behind void* — the RTTI-recoverable downcasts;
+ *  - sockaddr/sockaddr_in casts — the incompatible-layout casts that
+ *    stay bad and get trusted (the "sockaddr" trial, 1.50x);
+ *  - a task system: a worker queue of closures ("tasks" trial, 1.11x).
+ */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ccured.h>
+
+#ifndef SCALE
+#define SCALE 2
+#endif
+
+/* ----------------------- sockaddr family -------------------------- */
+
+struct sockaddr {
+    short sa_family;
+    char sa_data[14];
+};
+
+struct sockaddr_in {
+    short sin_family;
+    unsigned short sin_port;
+    unsigned int sin_addr;
+    char sin_zero[8];
+};
+
+static int bind_socket(struct sockaddr *sa) {
+    /* the daemon-side view of the address */
+    return sa->sa_family * 1000 + sa->sa_data[0];
+}
+
+static int make_endpoint(unsigned int addr, int port) {
+    struct sockaddr_in sin;
+    int h;
+    sin.sin_family = 2;  /* AF_INET */
+    sin.sin_port = (unsigned short)port;
+    sin.sin_addr = addr;
+    memset((void *)sin.sin_zero, 0, 8);
+    /* sockaddr_in* -> sockaddr* : layouts differ (short+ushort+uint
+     * vs short+char[14]); CCured cannot verify this — the canonical
+     * trusted cast of the bind port (Section 5). */
+    h = bind_socket((struct sockaddr *)__trusted_cast((void *)&sin));
+    return h;
+}
+
+/* ----------------------- resource records ------------------------- */
+
+struct rr {
+    int type;            /* 1=A 2=NS 16=TXT */
+    int ttl;
+};
+
+struct rr_a {
+    int type;
+    int ttl;
+    unsigned int addr;
+};
+
+struct rr_ns {
+    int type;
+    int ttl;
+    char nsname[32];
+};
+
+struct rr_txt {
+    int type;
+    int ttl;
+    char text[48];
+};
+
+#define MAX_RRS 24
+
+static void *rrset[MAX_RRS];
+static int n_rrs;
+
+static void add_a(unsigned int addr, int ttl) {
+    struct rr_a *r = (struct rr_a *)malloc(sizeof(struct rr_a));
+    r->type = 1;
+    r->ttl = ttl;
+    r->addr = addr;
+    if (n_rrs < MAX_RRS) {
+        rrset[n_rrs] = (void *)r;
+        n_rrs++;
+    }
+}
+
+static void add_ns(const char *name, int ttl) {
+    struct rr_ns *r = (struct rr_ns *)malloc(sizeof(struct rr_ns));
+    r->type = 2;
+    r->ttl = ttl;
+    strncpy(r->nsname, name, 31);
+    r->nsname[31] = 0;
+    if (n_rrs < MAX_RRS) {
+        rrset[n_rrs] = (void *)r;
+        n_rrs++;
+    }
+}
+
+static void add_txt(const char *text, int ttl) {
+    struct rr_txt *r = (struct rr_txt *)malloc(sizeof(struct rr_txt));
+    r->type = 16;
+    r->ttl = ttl;
+    strncpy(r->text, text, 47);
+    r->text[47] = 0;
+    if (n_rrs < MAX_RRS) {
+        rrset[n_rrs] = (void *)r;
+        n_rrs++;
+    }
+}
+
+static int rr_weight(void *rec) {
+    struct rr *base = (struct rr *)rec;       /* checked downcast */
+    if (base->type == 1) {
+        struct rr_a *a = (struct rr_a *)rec;  /* checked downcast */
+        return (int)(a->addr & 0xFF) + base->ttl / 60;
+    }
+    if (base->type == 2) {
+        struct rr_ns *ns = (struct rr_ns *)rec;
+        return (int)strlen(ns->nsname) + base->ttl / 60;
+    }
+    if (base->type == 16) {
+        struct rr_txt *t = (struct rr_txt *)rec;
+        return (int)strlen(t->text) / 2;
+    }
+    return 0;
+}
+
+/* ----------------------- message parsing -------------------------- */
+
+/* wire format: sequence of length-prefixed labels, 0 terminates */
+static int parse_name(const unsigned char *msg, int len, int off,
+                      char *out, int outmax) {
+    int n = 0;
+    while (off < len) {
+        int lab = msg[off];
+        off++;
+        if (lab == 0)
+            break;
+        if (off + lab > len || n + lab + 1 >= outmax)
+            return -1;
+        if (n > 0) {
+            out[n] = '.';
+            n++;
+        }
+        memcpy((void *)(out + n), (void *)(msg + off),
+               (unsigned int)lab);
+        n += lab;
+        off += lab;
+    }
+    out[n] = 0;
+    return off;
+}
+
+static int build_query(unsigned char *msg, int max,
+                       const char *name) {
+    int off = 0;
+    const char *p = name;
+    while (*p != 0 && off + 16 < max) {
+        const char *dot = strchr(p, '.');
+        int lab = dot == (const char *)0
+            ? (int)strlen(p) : (int)(dot - p);
+        msg[off] = (unsigned char)lab;
+        off++;
+        memcpy((void *)(msg + off), (void *)p,
+               (unsigned int)lab);
+        off += lab;
+        if (dot == (const char *)0)
+            break;
+        p = dot + 1;
+    }
+    msg[off] = 0;
+    off++;
+    return off;
+}
+
+/* ----------------------- response sending -------------------------- */
+
+struct dns_msghdr {
+    char *base;    /* interior pointer into the response buffer: the
+                    * nested-pointer structure that made the paper use
+                    * split types for sendmsg when curing bind */
+    int len;
+};
+
+extern int sendmsg(int s, void *msg, int flags);
+
+static int send_response(unsigned char *msg, int qlen,
+                         const char *name) {
+    char resp[96];
+    struct dns_msghdr hdr;
+    int n = 0;
+    const char *p;
+    resp[n] = (char)qlen;
+    n++;
+    for (p = name; *p != 0 && n + 1 < 96; p++) {
+        resp[n] = *p;
+        n++;
+    }
+    resp[n] = 0;
+    hdr.base = resp + 1;          /* skip the length byte */
+    hdr.len = n - 1;
+    /* verify the payload with an interior scan: base carries bounds
+     * (SEQ), so the msghdr needs metadata and hence a SPLIT
+     * representation at the sendmsg boundary */
+    {
+        char *q = hdr.base;
+        int check = 0;
+        while (*q != 0) {
+            check += *q;
+            q = q + 1;
+        }
+        if (check == 0)
+            return -1;
+    }
+    return sendmsg(0, (void *)&hdr, 0);
+}
+
+/* ---------------------------- tasks -------------------------------- */
+
+struct task {
+    int (*action)(int arg);
+    int arg;
+    int done;
+};
+
+#define MAX_TASKS 12
+
+static struct task tasks[MAX_TASKS];
+static int n_tasks;
+
+static int task_resolve(int arg) {
+    return arg * 3 % 251;
+}
+
+static int task_refresh(int arg) {
+    return arg + 17;
+}
+
+static void post_task(int (*fn)(int), int arg) {
+    if (n_tasks < MAX_TASKS) {
+        tasks[n_tasks].action = fn;
+        tasks[n_tasks].arg = arg;
+        tasks[n_tasks].done = 0;
+        n_tasks++;
+    }
+}
+
+static long run_tasks(void) {
+    long total = 0;
+    int i;
+    for (i = 0; i < n_tasks; i++) {
+        if (!tasks[i].done) {
+            total += tasks[i].action(tasks[i].arg);
+            tasks[i].done = 1;
+        }
+    }
+    n_tasks = 0;
+    return total;
+}
+
+/* ----------------------------- driver ------------------------------ */
+
+int main(void) {
+    unsigned char msg[96];
+    char name[64];
+    int round, i;
+    long total = 0;
+
+    add_a(0x7F000001u, 3600);
+    add_a(0xC0A80001u, 600);
+    add_ns("ns1.example.org", 86400);
+    add_ns("ns2.example.org", 86400);
+    add_txt("v=spf1 -all", 300);
+
+    for (round = 0; round < SCALE * 3; round++) {
+        int qlen = build_query(msg, 96,
+                               round % 2 == 0 ? "www.example.org"
+                                              : "mail.example.net");
+        int end = parse_name(msg, qlen, 0, name, 64);
+        if (end < 0) {
+            printf("bind: parse error\n");
+            return 1;
+        }
+        for (i = 0; i < n_rrs; i++)
+            total += rr_weight(rrset[i]);
+        total += make_endpoint(0x7F000001u, 53 + round);
+        total += send_response(msg, qlen, name);
+        post_task(task_resolve, round * 7);
+        post_task(task_refresh, round);
+        total += run_tasks();
+        total += (long)strlen(name);
+    }
+    printf("bind: rrs=%d total=%ld\n", n_rrs, total % 1000000);
+    return (int)(total % 97);
+}

@@ -1,0 +1,160 @@
+/* ftpd.c — a scaled-down ftpd-BSD-like daemon.
+ *
+ * The paper: "we ran ftpd-BSD 0.3.2-5 through CCured.  This version of
+ * ftpd has a known vulnerability (buffer overflow) in the
+ * replydirname function, and we verified that CCured prevents this
+ * error."
+ *
+ * This program reproduces that daemon's shape: a command loop parsing
+ * FTP verbs, a current-directory tracker, a tiny in-memory filesystem,
+ * and — crucially — the real replydirname off-by-one: the function
+ * copies the directory name into a fixed buffer while escaping '"'
+ * characters, and its bounds test fails to account for the escape
+ * expansion (CVE-2001-0053 family).  A deep path of quote characters
+ * overruns npath[].
+ *
+ * Requests come from stdin, one command per line, e.g.:
+ *   USER anonymous / PASS x / CWD dir / PWD / MKD name / LIST / QUIT
+ */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#ifndef SCALE
+#define SCALE 1
+#endif
+
+#define MAXPATHLEN 64
+#define MAX_FILES 16
+
+static char cwd[MAXPATHLEN * 4];
+static int logged_in;
+static int replies;
+
+struct vfile {
+    char name[24];
+    int size;
+    int is_dir;
+};
+
+static struct vfile files[MAX_FILES];
+static int n_files;
+
+static void addfile(const char *name, int size, int is_dir) {
+    if (n_files >= MAX_FILES)
+        return;
+    strncpy(files[n_files].name, name, 23);
+    files[n_files].name[23] = 0;
+    files[n_files].size = size;
+    files[n_files].is_dir = is_dir;
+    n_files++;
+}
+
+static void reply(int code, const char *text) {
+    printf("%d %s\r\n", code, text);
+    replies++;
+}
+
+/* The vulnerable function, structurally faithful to ftpd-BSD: quotes
+ * in the directory name are doubled while copying into a fixed-size
+ * buffer, but the guard only counts input characters. */
+static void replydirname(const char *name, const char *message) {
+    char npath[MAXPATHLEN];
+    int i;
+    for (i = 0; *name != 0 && i < MAXPATHLEN - 1; i++, name++) {
+        npath[i] = *name;
+        if (*name == '"') {
+            npath[i + 1] = '"';   /* off-by-one: i+1 can hit the end */
+            i++;
+        }
+    }
+    npath[i] = 0;
+    printf("257 \"%s\" %s\r\n", npath, message);
+    replies++;
+}
+
+static void do_cwd(const char *arg) {
+    if ((int)(strlen(cwd) + strlen(arg)) + 2
+            >= (int)sizeof(cwd)) {
+        reply(550, "path too long");
+        return;
+    }
+    strcat(cwd, "/");
+    strcat(cwd, arg);
+    reply(250, "CWD command successful");
+}
+
+static void do_list(void) {
+    int i;
+    for (i = 0; i < n_files; i++) {
+        printf("%s %8d %s\r\n", files[i].is_dir ? "d" : "-",
+               files[i].size, files[i].name);
+    }
+    reply(226, "Transfer complete");
+}
+
+static void do_mkd(const char *arg) {
+    addfile(arg, 0, 1);
+    replydirname(arg, "directory created");
+}
+
+static int split_cmd(char *line, char **arg_out) {
+    char *sp = strchr(line, ' ');
+    if (sp == (char *)0) {
+        *arg_out = line + strlen(line);
+        return (int)strlen(line);
+    }
+    *sp = 0;
+    *arg_out = sp + 1;
+    return (int)(sp - line);
+}
+
+int main(void) {
+    char line[256];
+    char *arg;
+    int quit = 0;
+
+    strcpy(cwd, "/home/ftp");
+    addfile("README", 1024, 0);
+    addfile("pub", 0, 1);
+    addfile("incoming", 0, 1);
+    reply(220, "FTP server ready");
+
+    while (!quit && fgets(line, (int)sizeof(line), stdin)
+           != (char *)0) {
+        int len = (int)strlen(line);
+        while (len > 0 && (line[len - 1] == '\n'
+                           || line[len - 1] == '\r')) {
+            line[len - 1] = 0;
+            len--;
+        }
+        if (len == 0)
+            continue;
+        split_cmd(line, &arg);
+        if (strcmp(line, "USER") == 0) {
+            reply(331, "User name okay, need password");
+        } else if (strcmp(line, "PASS") == 0) {
+            logged_in = 1;
+            reply(230, "User logged in");
+        } else if (!logged_in) {
+            reply(530, "Not logged in");
+        } else if (strcmp(line, "CWD") == 0) {
+            do_cwd(arg);
+        } else if (strcmp(line, "PWD") == 0) {
+            replydirname(cwd, "is current directory");
+        } else if (strcmp(line, "MKD") == 0) {
+            do_mkd(arg);
+        } else if (strcmp(line, "LIST") == 0) {
+            do_list();
+        } else if (strcmp(line, "NOOP") == 0) {
+            reply(200, "NOOP command successful");
+        } else if (strcmp(line, "QUIT") == 0) {
+            reply(221, "Goodbye");
+            quit = 1;
+        } else {
+            reply(500, "Command not understood");
+        }
+    }
+    printf("session: %d replies\n", replies);
+    return replies > 0 ? 0 : 1;
+}

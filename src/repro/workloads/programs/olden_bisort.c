@@ -1,0 +1,82 @@
+/* olden_bisort.c — an Olden bisort-like workload.
+ *
+ * Pointer-chasing over a heap-allocated binary tree: the Olden suite's
+ * profile (SAFE pointers everywhere, null checks dominate, very little
+ * arithmetic).  Builds a random tree, bitonic-ish sorts it by value
+ * swapping, then sums in order.
+ */
+#include <stdlib.h>
+#include <stdio.h>
+
+#ifndef SCALE
+#define SCALE 7
+#endif
+
+struct node {
+    int value;
+    struct node *left;
+    struct node *right;
+};
+
+static unsigned int seed = 7;
+
+static int prand(int limit) {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 8) % (unsigned int)limit);
+}
+
+static struct node *build(int depth) {
+    struct node *n;
+    if (depth == 0)
+        return 0;
+    n = (struct node *)malloc(sizeof(struct node));
+    n->value = prand(1000);
+    n->left = build(depth - 1);
+    n->right = build(depth - 1);
+    return n;
+}
+
+static void swap_if(struct node *a, struct node *b, int up) {
+    int t;
+    if (a == 0 || b == 0)
+        return;
+    if ((up && a->value > b->value) || (!up && a->value < b->value)) {
+        t = a->value;
+        a->value = b->value;
+        b->value = t;
+    }
+}
+
+static void merge_pass(struct node *n, int up) {
+    if (n == 0)
+        return;
+    swap_if(n->left, n->right, up);
+    swap_if(n, n->left, up);
+    merge_pass(n->left, up);
+    merge_pass(n->right, !up);
+}
+
+static long sum_tree(struct node *n, int depth) {
+    if (n == 0)
+        return 0;
+    return n->value * (depth + 1) + sum_tree(n->left, depth + 1)
+        + sum_tree(n->right, depth + 1);
+}
+
+static int count_nodes(struct node *n) {
+    if (n == 0)
+        return 0;
+    return 1 + count_nodes(n->left) + count_nodes(n->right);
+}
+
+int main(void) {
+    struct node *root = build(SCALE);
+    int pass;
+    long sum;
+    for (pass = 0; pass < 6; pass++)
+        merge_pass(root, pass % 2);
+    sum = sum_tree(root, 0);
+    printf("bisort: nodes=%d sum=%ld\n", count_nodes(root),
+           sum % 1000000);
+    return (int)(sum % 97);
+}

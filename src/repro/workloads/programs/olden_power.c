@@ -1,0 +1,108 @@
+/* olden_power.c — an Olden power-like workload: a three-level
+ * hierarchy (root -> laterals -> branches -> leaves) optimized with a
+ * downward pass and an upward accumulation; all heap pointers, deeper
+ * structures than treeadd. */
+#include <stdio.h>
+#include <stdlib.h>
+
+#ifndef SCALE
+#define SCALE 3
+#endif
+
+#define N_LATERAL SCALE
+#define N_BRANCH 4
+#define N_LEAF 5
+
+struct leaf {
+    double demand;
+    double price;
+};
+
+struct branch {
+    double current;
+    struct leaf *leaves[N_LEAF];
+};
+
+struct lateral {
+    double current;
+    struct branch *branches[N_BRANCH];
+};
+
+struct root {
+    double total;
+    struct lateral *laterals[N_LATERAL];
+};
+
+static unsigned int seed = 41;
+
+static int prand(int limit) {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 8) % (unsigned int)limit);
+}
+
+static struct root *build_network(void) {
+    struct root *r = (struct root *)malloc(sizeof(struct root));
+    int i, j, k;
+    r->total = 0.0;
+    for (i = 0; i < N_LATERAL; i++) {
+        struct lateral *lat =
+            (struct lateral *)malloc(sizeof(struct lateral));
+        lat->current = 0.0;
+        for (j = 0; j < N_BRANCH; j++) {
+            struct branch *br =
+                (struct branch *)malloc(sizeof(struct branch));
+            br->current = 0.0;
+            for (k = 0; k < N_LEAF; k++) {
+                struct leaf *lf =
+                    (struct leaf *)malloc(sizeof(struct leaf));
+                lf->demand = 1.0 + (double)prand(100) / 50.0;
+                lf->price = 1.0;
+                br->leaves[k] = lf;
+            }
+            lat->branches[j] = br;
+        }
+        r->laterals[i] = lat;
+    }
+    return r;
+}
+
+static double optimize_branch(struct branch *br, double price) {
+    double flow = 0.0;
+    int k;
+    for (k = 0; k < N_LEAF; k++) {
+        struct leaf *lf = br->leaves[k];
+        lf->price = price;
+        flow += lf->demand / lf->price;
+    }
+    br->current = flow;
+    return flow;
+}
+
+static double optimize_lateral(struct lateral *lat, double price) {
+    double flow = 0.0;
+    int j;
+    for (j = 0; j < N_BRANCH; j++)
+        flow += optimize_branch(lat->branches[j], price * 1.05);
+    lat->current = flow;
+    return flow;
+}
+
+int main(void) {
+    struct root *net = build_network();
+    int iter, i;
+    double price = 1.0;
+    for (iter = 0; iter < 6; iter++) {
+        double total = 0.0;
+        for (i = 0; i < N_LATERAL; i++)
+            total += optimize_lateral(net->laterals[i], price);
+        net->total = total;
+        /* adjust the price toward a target flow */
+        if (total > 60.0 * N_LATERAL)
+            price = price * 1.1;
+        else
+            price = price * 0.97;
+    }
+    printf("power: total=%d price=%d\n", (int)net->total,
+           (int)(price * 1000.0));
+    return (int)net->total % 97;
+}

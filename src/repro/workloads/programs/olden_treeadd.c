@@ -1,0 +1,40 @@
+/* olden_treeadd.c — the Olden treeadd benchmark: build a balanced
+ * binary tree on the heap, then sum it recursively.  Pure
+ * pointer-chasing with SAFE pointers: the cheapest case for CCured
+ * (null checks only). */
+#include <stdio.h>
+#include <stdlib.h>
+
+#ifndef SCALE
+#define SCALE 8
+#endif
+
+struct tree {
+    int value;
+    struct tree *left;
+    struct tree *right;
+};
+
+static struct tree *build(int depth, int value) {
+    struct tree *t;
+    if (depth <= 0)
+        return (struct tree *)0;
+    t = (struct tree *)malloc(sizeof(struct tree));
+    t->value = value;
+    t->left = build(depth - 1, 2 * value);
+    t->right = build(depth - 1, 2 * value + 1);
+    return t;
+}
+
+static long tree_add(struct tree *t) {
+    if (t == (struct tree *)0)
+        return 0;
+    return t->value + tree_add(t->left) + tree_add(t->right);
+}
+
+int main(void) {
+    struct tree *root = build(SCALE, 1);
+    long total = tree_add(root);
+    printf("treeadd: depth=%d total=%ld\n", SCALE, total);
+    return (int)(total % 97);
+}

@@ -1,0 +1,204 @@
+/* openssl_like.c — an OpenSSL-0.9.6-like workload.
+ *
+ * The paper's OpenSSL row (Fig. 9: 177k LoC, 67/27/0/6 sf/sq/w/rt,
+ * 1.40x overall; "cast" cipher 1.87x, "bn" 1.01x).  Two famous traits
+ * are reproduced:
+ *
+ *  - the CAST5-like block cipher ("cast" in Fig. 9): S-box lookups and
+ *    rotate-heavy rounds over byte buffers — bounds checks on every
+ *    table access make this the worst CCured case;
+ *  - a bignum package ("bn"): word-array arithmetic whose inner loops
+ *    CCured handles cheaply (1.01x);
+ *  - EVP-style polymorphic container objects: ``void*``-keyed method
+ *    tables with checked downcasts (the paper changed OpenSSL's
+ *    ``char*`` polymorphism to ``void*`` to make exactly this work).
+ */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#ifndef SCALE
+#define SCALE 2
+#endif
+
+/* ------------------------- "cast" cipher ------------------------- */
+
+static unsigned int sbox1[64];
+static unsigned int sbox2[64];
+
+static void init_sboxes(void) {
+    int i;
+    unsigned int s = 0x9E3779B9;
+    for (i = 0; i < 64; i++) {
+        s = s * 1664525 + 1013904223;
+        sbox1[i] = s;
+        s = s * 22695477 + 1;
+        sbox2[i] = s;
+    }
+}
+
+static unsigned int rotl(unsigned int v, int n) {
+    return (v << n) | (v >> (32 - n));
+}
+
+static void cast_encrypt_block(unsigned int *block,
+                               unsigned int *key) {
+    unsigned int l = block[0];
+    unsigned int r = block[1];
+    int round;
+    for (round = 0; round < 12; round++) {
+        unsigned int t = rotl(r ^ key[round % 4], (round % 7) + 1);
+        unsigned int f = sbox1[t & 63] ^ sbox2[(t >> 8) & 63];
+        unsigned int tmp = l ^ f;
+        l = r;
+        r = tmp;
+    }
+    block[0] = r;
+    block[1] = l;
+}
+
+static long run_cast(int blocks) {
+    unsigned int key[4] = { 0x01234567, 0x89ABCDEF,
+                            0xFEDCBA98, 0x76543210 };
+    unsigned int data[2];
+    long check = 0;
+    int i;
+    for (i = 0; i < blocks; i++) {
+        data[0] = (unsigned int)i * 2654435761u;
+        data[1] = (unsigned int)i ^ 0xDEADBEEF;
+        cast_encrypt_block(data, key);
+        check += (long)(data[0] & 0xFFFF);
+    }
+    return check;
+}
+
+/* --------------------------- "bn" package ------------------------ */
+
+#define BN_WORDS 8
+
+struct bignum {
+    unsigned int d[BN_WORDS];
+    int top;
+};
+
+static void bn_set_word(struct bignum *a, unsigned int w) {
+    int i;
+    for (i = 0; i < BN_WORDS; i++)
+        a->d[i] = 0;
+    a->d[0] = w;
+    a->top = 1;
+}
+
+static void bn_add(struct bignum *r, struct bignum *a,
+                   struct bignum *b) {
+    unsigned int carry = 0;
+    int i;
+    for (i = 0; i < BN_WORDS; i++) {
+        unsigned int s = a->d[i] + b->d[i];
+        unsigned int c1 = s < a->d[i] ? 1u : 0u;
+        unsigned int s2 = s + carry;
+        unsigned int c2 = s2 < s ? 1u : 0u;
+        r->d[i] = s2;
+        carry = c1 + c2;
+    }
+    r->top = BN_WORDS;
+}
+
+static void bn_mul_word(struct bignum *r, struct bignum *a,
+                        unsigned int w) {
+    unsigned int carry = 0;
+    int i;
+    for (i = 0; i < BN_WORDS; i++) {
+        /* 16x16 split multiply to stay in 32 bits */
+        unsigned int lo = (a->d[i] & 0xFFFF) * w;
+        unsigned int hi = (a->d[i] >> 16) * w;
+        unsigned int s = lo + (hi << 16) + carry;
+        r->d[i] = s;
+        carry = (hi >> 16) + (s < lo ? 1u : 0u);
+    }
+    r->top = BN_WORDS;
+}
+
+static long run_bn(int iters) {
+    struct bignum a, b, r;
+    long check = 0;
+    int i;
+    bn_set_word(&a, 1);
+    bn_set_word(&b, 0x10001);
+    for (i = 0; i < iters; i++) {
+        bn_mul_word(&r, &a, 65537u);
+        bn_add(&a, &r, &b);
+        check += (long)(a.d[0] & 0xFFF);
+    }
+    return check;
+}
+
+/* ------------------ EVP-style polymorphic objects ----------------- */
+
+struct evp_cipher {
+    int nid;
+    int block_size;
+    void *app_data;          /* polymorphic payload */
+};
+
+struct cast_ctx {
+    int nid;
+    unsigned int key[4];
+};
+
+struct bn_ctx {
+    int nid;
+    struct bignum acc;
+};
+
+static long evp_drive(int n) {
+    struct evp_cipher ciphers[2];
+    struct cast_ctx cctx;
+    struct bn_ctx bctx;
+    long check = 0;
+    int i;
+
+    cctx.nid = 1;
+    for (i = 0; i < 4; i++)
+        cctx.key[i] = (unsigned int)(i + 1) * 0x11111111;
+    bctx.nid = 2;
+    bn_set_word(&bctx.acc, 7);
+
+    ciphers[0].nid = 1;
+    ciphers[0].block_size = 8;
+    ciphers[0].app_data = (void *)&cctx;
+    ciphers[1].nid = 2;
+    ciphers[1].block_size = 4;
+    ciphers[1].app_data = (void *)&bctx;
+
+    for (i = 0; i < n; i++) {
+        struct evp_cipher *c = &ciphers[i % 2];
+        if (c->nid == 1) {
+            /* checked downcast of the polymorphic payload */
+            struct cast_ctx *k = (struct cast_ctx *)c->app_data;
+            unsigned int blk[2];
+            blk[0] = (unsigned int)i;
+            blk[1] = (unsigned int)(i * 3);
+            cast_encrypt_block(blk, k->key);
+            check += (long)(blk[1] & 0xFF);
+        } else {
+            struct bn_ctx *k = (struct bn_ctx *)c->app_data;
+            struct bignum t;
+            bn_mul_word(&t, &k->acc, 3u);
+            bn_add(&k->acc, &t, &k->acc);
+            check += (long)(k->acc.d[0] & 0xFF);
+        }
+    }
+    return check;
+}
+
+int main(void) {
+    long c1, c2, c3;
+    init_sboxes();
+    c1 = run_cast(SCALE * 40);
+    c2 = run_bn(SCALE * 30);
+    c3 = evp_drive(SCALE * 20);
+    printf("openssl: cast=%ld bn=%ld evp=%ld\n",
+           c1 % 100000, c2 % 100000, c3 % 100000);
+    return (int)((c1 + c2 + c3) % 97);
+}

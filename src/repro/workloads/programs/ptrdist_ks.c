@@ -1,0 +1,117 @@
+/* ptrdist_ks.c — a Ptrdist ks-like workload (Kernighan-Schweikert
+ * graph partitioning): adjacency lists on the heap, gain computation,
+ * node swapping between partitions. */
+#include <stdio.h>
+#include <stdlib.h>
+
+#ifndef SCALE
+#define SCALE 2
+#endif
+
+#define N_NODES 24
+#define MAX_DEG 4
+
+struct gnode {
+    int id;
+    int part;              /* 0 or 1 */
+    int degree;
+    struct gnode *adj[MAX_DEG];
+};
+
+static struct gnode *nodes[N_NODES];
+static unsigned int seed = 13;
+
+static int prand(int limit) {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 8) % (unsigned int)limit);
+}
+
+static void build_graph(void) {
+    int i, k;
+    for (i = 0; i < N_NODES; i++) {
+        struct gnode *n =
+            (struct gnode *)malloc(sizeof(struct gnode));
+        n->id = i;
+        n->part = i % 2;
+        n->degree = 0;
+        nodes[i] = n;
+    }
+    for (i = 0; i < N_NODES; i++) {
+        struct gnode *n = nodes[i];
+        for (k = n->degree; k < MAX_DEG; k++) {
+            struct gnode *m = nodes[prand(N_NODES)];
+            if (m != n && m->degree < MAX_DEG) {
+                n->adj[n->degree] = m;
+                n->degree++;
+                m->adj[m->degree] = n;
+                m->degree++;
+            }
+            if (n->degree >= MAX_DEG)
+                break;
+        }
+    }
+}
+
+static int cut_size(void) {
+    int cut = 0, i, k;
+    for (i = 0; i < N_NODES; i++) {
+        struct gnode *n = nodes[i];
+        for (k = 0; k < n->degree; k++)
+            if (n->adj[k]->part != n->part)
+                cut++;
+    }
+    return cut / 2;
+}
+
+static int gain(struct gnode *n) {
+    int g = 0, k;
+    for (k = 0; k < n->degree; k++)
+        g += (n->adj[k]->part != n->part) ? 1 : -1;
+    return g;
+}
+
+static int improve_once(void) {
+    int best_i = -1, best_j = -1, best_g = 0;
+    int i, j;
+    for (i = 0; i < N_NODES; i++) {
+        if (nodes[i]->part != 0)
+            continue;
+        for (j = 0; j < N_NODES; j++) {
+            int g;
+            if (nodes[j]->part != 1)
+                continue;
+            g = gain(nodes[i]) + gain(nodes[j]);
+            if (g > best_g) {
+                best_g = g;
+                best_i = i;
+                best_j = j;
+            }
+        }
+    }
+    if (best_i >= 0) {
+        nodes[best_i]->part = 1;
+        nodes[best_j]->part = 0;
+        return 1;
+    }
+    return 0;
+}
+
+int main(void) {
+    int round;
+    long total = 0;
+    for (round = 0; round < SCALE; round++) {
+        int before, after, passes = 0;
+        int i;
+        seed = 13 + (unsigned int)round;
+        build_graph();
+        before = cut_size();
+        while (improve_once() && passes < 10)
+            passes++;
+        after = cut_size();
+        total += before - after + passes;
+        for (i = 0; i < N_NODES; i++)
+            free(nodes[i]);
+    }
+    printf("ks: improved=%ld\n", total);
+    return (int)(total % 97);
+}

@@ -1,0 +1,133 @@
+/* sbull.c — an sbull-like ramdisk block device workload.
+ *
+ * The paper's sbull row (Fig. 9: 1013 LoC, 85/15/0/0, 1.00x blocked
+ * reads, 1.03x seeks).  Reproduced structure: a sector store, a
+ * request queue with elevator-style merging, and the two measured
+ * operations: sequential blocked reads and random seeks.
+ */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ccured.h>
+
+#ifndef SCALE
+#define SCALE 3
+#endif
+
+#define SECTOR_SIZE 64
+#define N_SECTORS 64
+#define QUEUE_LEN 8
+
+static unsigned char disk[N_SECTORS][SECTOR_SIZE];
+
+struct request {
+    int sector;
+    int count;
+    int write;
+    unsigned char *buffer;
+    struct request *next;
+};
+
+static struct request *queue_head;
+static long sectors_read, sectors_written, seeks;
+static int head_pos;
+
+static unsigned int seed = 77;
+
+static int prand(int limit) {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 8) % (unsigned int)limit);
+}
+
+static void submit(struct request *rq) {
+    /* elevator: insert sorted by sector to minimize seeks */
+    struct request **pp = &queue_head;
+    while (*pp != (struct request *)0
+           && (*pp)->sector < rq->sector)
+        pp = &(*pp)->next;
+    rq->next = *pp;
+    *pp = rq;
+}
+
+static void transfer(struct request *rq) {
+    int s;
+    if (rq->sector != head_pos) {
+        seeks++;
+        /* head movement: the dominant cost of the seeks trial */
+        __io_write((void *)rq->buffer, 16384);
+    }
+    __io_write((void *)rq->buffer,
+               (unsigned int)rq->count * SECTOR_SIZE * 24);
+    for (s = 0; s < rq->count; s++) {
+        int sec = rq->sector + s;
+        if (sec >= N_SECTORS)
+            break;
+        if (rq->write) {
+            memcpy((void *)disk[sec],
+                   (void *)(rq->buffer + s * SECTOR_SIZE),
+                   SECTOR_SIZE);
+            sectors_written++;
+        } else {
+            memcpy((void *)(rq->buffer + s * SECTOR_SIZE),
+                   (void *)disk[sec], SECTOR_SIZE);
+            sectors_read++;
+        }
+    }
+    head_pos = rq->sector + rq->count;
+}
+
+static void run_queue(void) {
+    while (queue_head != (struct request *)0) {
+        struct request *rq = queue_head;
+        queue_head = rq->next;
+        transfer(rq);
+        free(rq->buffer);
+        free(rq);
+    }
+}
+
+static struct request *make_request(int sector, int count,
+                                    int write) {
+    struct request *rq =
+        (struct request *)malloc(sizeof(struct request));
+    rq->sector = sector;
+    rq->count = count;
+    rq->write = write;
+    rq->buffer =
+        (unsigned char *)malloc(count * SECTOR_SIZE);
+    if (write) {
+        int i;
+        for (i = 0; i < count * SECTOR_SIZE; i++)
+            rq->buffer[i] = (unsigned char)(sector + i);
+    }
+    rq->next = (struct request *)0;
+    return rq;
+}
+
+int main(void) {
+    int round, i;
+    long checksum = 0;
+
+    /* phase 1: blocked sequential writes then reads */
+    for (round = 0; round < SCALE; round++) {
+        for (i = 0; i + 4 <= N_SECTORS; i += 4)
+            submit(make_request(i, 4, 1));
+        run_queue();
+        for (i = 0; i + 4 <= N_SECTORS; i += 4)
+            submit(make_request(i, 4, 0));
+        run_queue();
+    }
+    /* phase 2: random seeks */
+    for (round = 0; round < SCALE * 10; round++) {
+        submit(make_request(prand(N_SECTORS - 1), 1,
+                            prand(2)));
+        if (round % QUEUE_LEN == QUEUE_LEN - 1)
+            run_queue();
+    }
+    run_queue();
+    for (i = 0; i < N_SECTORS; i++)
+        checksum += disk[i][0] + disk[i][SECTOR_SIZE - 1];
+    printf("sbull: read=%ld written=%ld seeks=%ld sum=%ld\n",
+           sectors_read, sectors_written, seeks, checksum);
+    return (int)(checksum % 97);
+}

@@ -1,0 +1,168 @@
+/* sendmail_like.c — a sendmail-8.12-like workload.
+ *
+ * The paper's sendmail row (Fig. 9: 105k LoC, 65/34/0/1, 1.46x) plus
+ * the CA-2003-12 class of bug: sendmail's crackaddr()-style header
+ * parser tracks nesting with a counter used as a buffer offset, and a
+ * crafted From: header with unbalanced angle brackets drives the
+ * offset out of the buffer (the "prescan" overflow family).
+ *
+ * Structure: a message queue, an address parser (with the bug),
+ * header rewriting, and delivery simulation.  Per the paper we also
+ * reproduce the porting pattern "unions became structs": the message
+ * payload uses a struct-of-variants instead of a union.
+ */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#ifndef SCALE
+#define SCALE 2
+#endif
+
+#define QUEUE_MAX 8
+#define ADDR_MAX 48
+
+struct message {
+    char from[64];
+    char to[64];
+    char subject[32];
+    int size;
+    int delivered;
+    /* "unions became structs": the envelope split-body variants */
+    struct {
+        int kind;          /* 0 = text, 1 = mime */
+        char text[32];
+        int mime_parts;
+    } body;
+};
+
+static struct message queue[QUEUE_MAX];
+static int q_len;
+static int delivered, bounced;
+
+/* The vulnerable address "cracker": copies an address while tracking
+ * comment/angle-bracket nesting.  The bug: '>' decrements the write
+ * position to "back out" of a bracket even when nothing was written,
+ * so a leading run of '>' walks the cursor below the buffer start. */
+static int crackaddr(const char *addr, char *out) {
+    int pos = 0;
+    int depth = 0;
+    while (*addr != 0) {
+        char c = *addr;
+        if (c == '<') {
+            depth++;
+            out[pos] = c;
+            pos++;
+        } else if (c == '>') {
+            depth--;
+            pos--;            /* BUG: no lower-bound check */
+            if (pos >= 0)
+                out[pos] = 0;
+        } else if (pos < ADDR_MAX - 1) {
+            out[pos] = c;
+            pos++;
+        }
+        addr++;
+        if (pos >= ADDR_MAX - 1)
+            break;
+    }
+    if (pos < 0)
+        pos = 0;
+    out[pos] = 0;
+    return depth;
+}
+
+static int queue_message(const char *from, const char *to,
+                         const char *subject, int size) {
+    struct message *m;
+    char cracked[ADDR_MAX];
+    if (q_len >= QUEUE_MAX)
+        return -1;
+    m = &queue[q_len];
+    crackaddr(from, cracked);
+    strncpy(m->from, cracked, 63);
+    m->from[63] = 0;
+    strncpy(m->to, to, 63);
+    m->to[63] = 0;
+    strncpy(m->subject, subject, 31);
+    m->subject[31] = 0;
+    m->size = size;
+    m->delivered = 0;
+    if (size > 512) {
+        m->body.kind = 1;
+        m->body.mime_parts = size / 512;
+    } else {
+        m->body.kind = 0;
+        snprintf(m->body.text, 32, "msg:%s", subject);
+    }
+    q_len++;
+    return q_len - 1;
+}
+
+static void rewrite_headers(struct message *m) {
+    char rewritten[80];
+    char *at = strchr(m->to, '@');
+    if (at == (char *)0) {
+        snprintf(rewritten, 80, "%s@localhost", m->to);
+        strncpy(m->to, rewritten, 63);
+        m->to[63] = 0;
+    }
+}
+
+static int run_queue(void) {
+    int i, n = 0;
+    for (i = 0; i < q_len; i++) {
+        struct message *m = &queue[i];
+        if (m->delivered)
+            continue;
+        rewrite_headers(m);
+        /* "deliver": local if @localhost, else relay */
+        if (strstr(m->to, "@localhost") != (char *)0
+                || strchr(m->to, '@') == (char *)0) {
+            delivered++;
+        } else if (m->size < 4096) {
+            delivered++;
+        } else {
+            bounced++;
+        }
+        m->delivered = 1;
+        n++;
+    }
+    return n;
+}
+
+static unsigned int seed = 11;
+
+static int prand(int limit) {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 8) % (unsigned int)limit);
+}
+
+int main(int argc, char **argv) {
+    int round, i;
+    const char *senders[4] = {
+        "<alice@example.org>", "bob@example.net",
+        "<carol<nested>@example.com>", "dave",
+    };
+    /* an attack From: header can be injected via argv[1] */
+    if (argc > 1) {
+        char out[ADDR_MAX];
+        crackaddr(argv[1], out);
+        printf("cracked: %s\n", out);
+    }
+    for (round = 0; round < SCALE; round++) {
+        q_len = 0;
+        for (i = 0; i < 6; i++) {
+            char subj[24];
+            snprintf(subj, 24, "mail %d-%d", round, i);
+            queue_message(senders[i % 4],
+                          i % 2 == 0 ? "postmaster"
+                                     : "user@remote.example",
+                          subj, 128 + prand(1024));
+        }
+        run_queue();
+    }
+    printf("sendmail: delivered=%d bounced=%d\n", delivered,
+           bounced);
+    return delivered > 0 ? 0 : 1;
+}

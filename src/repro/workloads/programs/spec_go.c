@@ -1,0 +1,107 @@
+/* spec_go.c — a Spec95 099.go-like workload.
+ *
+ * Board-game position evaluation: 2-D arrays accessed through flat
+ * pointers (the multi-dimensional SEQ cast rule of Section 3.1),
+ * bounded recursion, and integer-heavy scoring.
+ */
+#include <stdio.h>
+
+#ifndef SCALE
+#define SCALE 4
+#endif
+
+#define BOARD 9
+#define EMPTY 0
+#define BLACK 1
+#define WHITE 2
+
+static int board[BOARD][BOARD];
+static unsigned int seed = 99;
+
+static int prand(int limit) {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 8) % (unsigned int)limit);
+}
+
+static int liberties(int row, int col) {
+    int libs = 0;
+    if (row > 0 && board[row - 1][col] == EMPTY)
+        libs++;
+    if (row < BOARD - 1 && board[row + 1][col] == EMPTY)
+        libs++;
+    if (col > 0 && board[row][col - 1] == EMPTY)
+        libs++;
+    if (col < BOARD - 1 && board[row][col + 1] == EMPTY)
+        libs++;
+    return libs;
+}
+
+static int friends(int row, int col, int color) {
+    int n = 0;
+    if (row > 0 && board[row - 1][col] == color)
+        n++;
+    if (row < BOARD - 1 && board[row + 1][col] == color)
+        n++;
+    if (col > 0 && board[row][col - 1] == color)
+        n++;
+    if (col < BOARD - 1 && board[row][col + 1] == color)
+        n++;
+    return n;
+}
+
+static int score_board(void) {
+    /* scan the board through a flat pointer: int[9]* -> int* is the
+     * size-commensurate SEQ cast the paper's rule admits */
+    int *flat = (int *)board;
+    int i, score = 0;
+    for (i = 0; i < BOARD * BOARD; i++) {
+        if (flat[i] == BLACK)
+            score++;
+        else if (flat[i] == WHITE)
+            score--;
+    }
+    return score;
+}
+
+static int play_move(int color) {
+    int best_r = -1, best_c = -1, best_v = -1000;
+    int tries;
+    for (tries = 0; tries < 12; tries++) {
+        int r = prand(BOARD);
+        int c = prand(BOARD);
+        int v;
+        if (board[r][c] != EMPTY)
+            continue;
+        v = liberties(r, c) * 4 + friends(r, c, color) * 3
+            - friends(r, c, 3 - color) + prand(3);
+        if (v > best_v) {
+            best_v = v;
+            best_r = r;
+            best_c = c;
+        }
+    }
+    if (best_r >= 0) {
+        board[best_r][best_c] = color;
+        return 1;
+    }
+    return 0;
+}
+
+int main(void) {
+    int game, moves = 0;
+    long total = 0;
+    for (game = 0; game < SCALE; game++) {
+        int r, c, m;
+        for (r = 0; r < BOARD; r++)
+            for (c = 0; c < BOARD; c++)
+                board[r][c] = EMPTY;
+        for (m = 0; m < 30; m++) {
+            if (!play_move(m % 2 == 0 ? BLACK : WHITE))
+                break;
+            moves++;
+        }
+        total += score_board() + 100;
+    }
+    printf("go: moves=%d total=%ld\n", moves, total);
+    return (int)(total % 97);
+}

@@ -1,0 +1,24 @@
+"""Shared test fixtures (helper functions live in helpers.py)."""
+
+import pytest
+
+
+@pytest.fixture
+def figure_circle_src() -> str:
+    """The paper's Section 3 running example."""
+    return r'''
+struct Figure { double (*area)(struct Figure *obj); };
+struct Circle { double (*area)(struct Figure *obj); int radius; };
+double circle_area(struct Figure *obj) {
+  struct Circle *cir = (struct Circle *)obj;
+  return 3.0 * cir->radius * cir->radius;
+}
+int main(void) {
+  struct Circle c;
+  c.radius = 5;
+  c.area = circle_area;
+  struct Figure *f = (struct Figure *)&c;
+  double a = f->area(f);
+  return (int)a;
+}
+'''

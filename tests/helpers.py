@@ -1,0 +1,36 @@
+"""Shared helper functions for the test suite."""
+
+from repro.cil import types as T
+from repro.core import CureOptions, cure
+from repro.frontend import parse_program
+from repro.interp import run_cured, run_raw
+
+
+def cure_src(src: str, name: str = "t", **opts):
+    """Cure a source snippet with options given as keywords."""
+    return cure(src, options=CureOptions(**opts) if opts else None,
+                name=name)
+
+
+def kinds_of(cured, fn: str) -> dict[str, str]:
+    """Map of variable name -> pointer kind for a function's formals
+    and locals (pointers only)."""
+    fd = cured.prog.function(fn)
+    out = {}
+    for v in fd.formals + fd.locals:
+        u = T.unroll(v.type)
+        if isinstance(u, T.TPtr) and u.node is not None:
+            out[v.name] = u.node.kind.name
+    return out
+
+
+def run_both(src: str, name: str = "t", args=None, stdin=""):
+    """Run a snippet cured and raw; assert matching observable
+    behaviour; return (cured_result, raw_result)."""
+    cured = cure_src(src, name)
+    rc = run_cured(cured, args=args, stdin=stdin)
+    rr = run_raw(parse_program(src, name + "_raw"), args=args,
+                 stdin=stdin)
+    assert rc.status == rr.status, (rc, rr)
+    assert rc.stdout == rr.stdout
+    return rc, rr

@@ -1,0 +1,143 @@
+"""Tests for cast classification and the cast census (paper Section 3)."""
+
+import pytest
+
+from repro.cil import types as T
+from repro.core import CastClass, classify_types, cure
+from repro.core.casts import CastCensus, CastRecord
+
+
+def S(name, *fields):
+    return T.TComp(T.CompInfo(
+        True, name, [T.FieldInfo(n, t) for n, t in fields]))
+
+
+class TestClassifyTypes:
+    def setup_method(self):
+        self.figure = S("FigC", ("tag", T.int_t()))
+        self.circle = S("CirC", ("tag", T.int_t()),
+                        ("radius", T.int_t()))
+
+    def test_scalar(self):
+        assert classify_types(T.int_t(), T.double_t()) is \
+            CastClass.SCALAR
+
+    def test_ptr_to_int(self):
+        assert classify_types(T.ptr(T.int_t()), T.int_t()) is \
+            CastClass.PTR_TO_INT
+
+    def test_int_to_ptr(self):
+        assert classify_types(T.int_t(), T.ptr(T.int_t())) is \
+            CastClass.INT_TO_PTR
+
+    def test_identical(self):
+        assert classify_types(T.ptr(T.int_t()), T.ptr(T.int_t())) is \
+            CastClass.IDENTICAL
+
+    def test_physically_equal_is_identical(self):
+        wrapped = S("WrapC", ("x", T.int_t()))
+        assert classify_types(T.ptr(wrapped), T.ptr(T.int_t())) is \
+            CastClass.IDENTICAL
+
+    def test_upcast(self):
+        assert classify_types(T.ptr(self.circle),
+                              T.ptr(self.figure)) is CastClass.UPCAST
+
+    def test_downcast(self):
+        assert classify_types(T.ptr(self.figure),
+                              T.ptr(self.circle)) is CastClass.DOWNCAST
+
+    def test_to_void_star_is_upcast(self):
+        assert classify_types(T.ptr(self.circle),
+                              T.ptr(T.void_t())) is CastClass.UPCAST
+
+    def test_from_void_star_is_downcast(self):
+        assert classify_types(T.ptr(T.void_t()),
+                              T.ptr(self.circle)) is CastClass.DOWNCAST
+
+    def test_unrelated_is_bad(self):
+        assert classify_types(T.ptr(T.int_t()),
+                              T.ptr(T.char_t())) is CastClass.BAD
+
+    def test_function_pointer_identical(self):
+        f = T.TFun(T.int_t(), [("x", T.int_t())])
+        g = T.TFun(T.int_t(), [("y", T.int_t())])
+        assert classify_types(T.ptr(f), T.ptr(g)) is \
+            CastClass.IDENTICAL
+
+    def test_function_pointer_mismatch_bad(self):
+        f = T.TFun(T.int_t(), [("x", T.int_t())])
+        g = T.TFun(T.int_t(), [("x", T.double_t())])
+        assert classify_types(T.ptr(f), T.ptr(g)) is CastClass.BAD
+
+
+class TestCensusOnPrograms:
+    def test_null_casts_not_counted_as_pointer_casts(self):
+        cured = cure("int main(void){ int *p = 0; return p == 0; }")
+        assert cured.census.count(CastClass.NULL_TO_PTR) >= 0
+        assert cured.census.count(CastClass.BAD) == 0
+
+    def test_figure_circle_census(self, figure_circle_src):
+        cured = cure(figure_circle_src)
+        c = cured.census
+        assert c.count(CastClass.UPCAST) == 1
+        assert c.count(CastClass.DOWNCAST) == 1
+        assert c.count(CastClass.BAD) == 0
+
+    def test_identical_cast_counted(self):
+        src = """
+        int main(void) { int x; int *p = &x; int *q = (int*)p;
+          return *q; }
+        """
+        cured = cure(src)
+        assert cured.census.count(CastClass.IDENTICAL) == 1
+
+    def test_trusted_cast_counted(self):
+        src = """
+        #include <ccured.h>
+        int main(void) {
+          int x = 5;
+          int *p = &x;
+          char *c = (char*)__trusted_cast(p);
+          return c != 0;
+        }
+        """
+        cured = cure(src)
+        assert cured.trusted_casts >= 1
+        assert cured.census.count(CastClass.BAD) == 0
+
+    def test_trust_all_option(self):
+        src = """
+        int main(void) { int x; int *p = &x;
+          char *c = (char*)p; return c != 0; }
+        """
+        from repro.core import CureOptions
+        cured = cure(src, options=CureOptions(trust_bad_casts=True))
+        assert cured.census.count(CastClass.BAD) == 0
+        assert cured.census.count(CastClass.TRUSTED) == 1
+        pct = cured.kind_percentages()
+        assert pct["wild"] == 0.0
+
+    def test_fractions_sum(self):
+        src = """
+        struct A { int x; };
+        struct B { int x; int y; };
+        int main(void) {
+          struct B b;
+          struct A *a = (struct A*)&b;     /* upcast */
+          struct B *b2 = (struct B*)a;     /* downcast */
+          void *v = (void*)b2;             /* upcast */
+          int *bad = (int*)1;              /* int->ptr */
+          return bad == (int*)0;
+        }
+        """
+        cured = cure(src)
+        f = cured.census.fractions()
+        assert f["upcast"] + f["downcast"] + f["bad"] == \
+            pytest.approx(1.0)
+
+    def test_summary_text(self):
+        census = CastCensus()
+        census.add(CastRecord(T.ptr(T.int_t()), T.ptr(T.int_t()),
+                              CastClass.IDENTICAL))
+        assert "identical" in census.summary()

@@ -1,0 +1,87 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import SAFETY_EXIT, main
+
+HELLO = r'''
+#include <stdio.h>
+#include <string.h>
+int main(int argc, char **argv) {
+  char buf[8];
+  if (argc > 1) strcpy(buf, argv[1]);
+  else strcpy(buf, "hi");
+  printf("%s\n", buf);
+  return 0;
+}
+'''
+
+
+@pytest.fixture
+def hello_c(tmp_path):
+    path = tmp_path / "hello.c"
+    path.write_text(HELLO)
+    return str(path)
+
+
+class TestCure:
+    def test_report(self, hello_c, capsys):
+        assert main(["cure", hello_c, "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "CCured report" in out
+        assert "kinds:" in out
+
+    def test_instrumented_output(self, hello_c, capsys):
+        assert main(["cure", hello_c]) == 0
+        out = capsys.readouterr().out
+        assert "__SEQ" in out or "__SAFE" in out
+
+    def test_plain_output(self, hello_c, capsys):
+        assert main(["cure", hello_c, "--plain"]) == 0
+        out = capsys.readouterr().out
+        assert "__SAFE" not in out
+
+    def test_ablation_flags(self, hello_c, capsys):
+        assert main(["cure", hello_c, "--report", "--no-rtti",
+                     "--no-physical", "--no-optimize"]) == 0
+
+
+class TestRun:
+    def test_run_ok(self, hello_c, capsys):
+        assert main(["run", hello_c, "world"]) == 0
+        assert capsys.readouterr().out == "world\n"
+
+    def test_run_overflow_exits_99(self, hello_c, capsys):
+        status = main(["run", hello_c, "A" * 20])
+        assert status == SAFETY_EXIT
+        assert "BoundsError" in capsys.readouterr().err
+
+    def test_run_raw(self, hello_c, capsys):
+        assert main(["run", "--raw", hello_c, "ok"]) == 0
+        assert capsys.readouterr().out == "ok\n"
+
+    def test_run_stats(self, hello_c, capsys):
+        assert main(["run", hello_c, "x", "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "cycles" in err
+
+    def test_exit_status_propagates(self, tmp_path, capsys):
+        p = tmp_path / "seven.c"
+        p.write_text("int main(void) { return 7; }")
+        assert main(["run", str(p)]) == 7
+
+
+class TestBenchAndWorkloads:
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "ftpd" in out and "Fig. 9" in out
+
+    def test_bench_single(self, capsys):
+        assert main(["bench", "olden_bisort",
+                     "--tools", "ccured"]) == 0
+        out = capsys.readouterr().out
+        assert "ccured" in out and "1.00x" in out
+
+    def test_bench_unknown(self, capsys):
+        assert main(["bench", "nope"]) == 2

@@ -1,0 +1,169 @@
+"""Tests for the FSEQ (forward-only sequence) pointer kind.
+
+FSEQ is the CCured implementation's extra kind (not in the paper's
+Figure 1): a pointer that only ever moves forward needs just ``p`` and
+``e`` — two words instead of SEQ's three, and one bounds compare
+instead of two.  It is enabled with ``CureOptions(use_fseq=True)``.
+"""
+
+import pytest
+
+from helpers import kinds_of
+
+from repro.core import CureOptions, cure
+from repro.interp import run_cured, run_raw
+from repro.frontend import parse_program
+from repro.runtime.checks import BoundsError, MemorySafetyError
+
+FORWARD_SCAN = """
+#include <string.h>
+int main(void) {
+  char buf[16];
+  char *p = buf;
+  int n = 0;
+  strcpy(buf, "forward only");
+  while (*p != 0) { n++; p = p + 1; }
+  return n;
+}
+"""
+
+BACKWARD_SCAN = """
+int main(void) {
+  int a[8];
+  int *p = a + 7;
+  int i, s = 0;
+  for (i = 0; i < 8; i++) { s += 1; p = p - 1; }
+  return s;
+}
+"""
+
+
+def fseq_cure(src, name="t"):
+    return cure(src, options=CureOptions(use_fseq=True), name=name)
+
+
+class TestInference:
+    def test_forward_scan_is_fseq(self):
+        c = fseq_cure(FORWARD_SCAN)
+        assert kinds_of(c, "main")["p"] == "FSEQ"
+
+    def test_backward_movement_is_seq(self):
+        c = fseq_cure(BACKWARD_SCAN)
+        assert kinds_of(c, "main")["p"] == "SEQ"
+
+    def test_pointer_difference_is_seq(self):
+        c = fseq_cure("""
+        int main(void) {
+          int a[4];
+          int *p = a + 2;
+          return (int)(p - a);
+        }
+        """)
+        assert kinds_of(c, "main")["p"] == "SEQ"
+
+    def test_negative_constant_offset_is_seq(self):
+        c = fseq_cure("""
+        int main(void) {
+          int a[4];
+          int *p = a + 2;
+          p = p + (-1);
+          return *p;
+        }
+        """)
+        assert kinds_of(c, "main")["p"] == "SEQ"
+
+    def test_disabled_by_default(self):
+        c = cure(FORWARD_SCAN, name="nofseq")
+        assert kinds_of(c, "main")["p"] == "SEQ"
+
+    def test_negativity_propagates_backwards(self):
+        # q moves backwards; p flows into q, so p must carry a base
+        # bound too: both SEQ.
+        c = fseq_cure("""
+        int main(void) {
+          int a[8];
+          int *p = a + 4;
+          int *q = p;
+          q = q - 1;
+          return *q;
+        }
+        """)
+        ks = kinds_of(c, "main")
+        assert ks["q"] == "SEQ"
+        assert ks["p"] == "SEQ"
+
+
+class TestExecution:
+    def test_forward_scan_runs(self):
+        c = fseq_cure(FORWARD_SCAN)
+        rc = run_cured(c)
+        rr = run_raw(parse_program(FORWARD_SCAN, "raw"))
+        assert rc.status == rr.status == len("forward only")
+
+    def test_fseq_overrun_caught(self):
+        c = fseq_cure("""
+        int main(void) {
+          int a[4];
+          int *p = a;
+          int i, s = 0;
+          for (i = 0; i <= 4; i++) { s += *p; p = p + 1; }
+          return s;
+        }
+        """)
+        with pytest.raises(BoundsError):
+            run_cured(c)
+
+    def test_fseq_null_caught(self):
+        c = fseq_cure("""
+        int main(void) {
+          int *p = 0;
+          p = p + 1;
+          return *p;
+        }
+        """)
+        with pytest.raises(MemorySafetyError):
+            run_cured(c)
+
+    def test_fseq_cheaper_than_seq(self):
+        c_fseq = fseq_cure(FORWARD_SCAN, name="f")
+        c_seq = cure(FORWARD_SCAN, name="s")
+        r_fseq = run_cured(c_fseq)
+        r_seq = run_cured(c_seq)
+        assert r_fseq.status == r_seq.status
+        assert r_fseq.cycles < r_seq.cycles
+
+    def test_workloads_agree_with_fseq(self):
+        from repro.workloads import get
+        w = get("ptrdist_anagram")
+        cured = w.cure(options=CureOptions(use_fseq=True), scale=1)
+        rc = run_cured(cured)
+        rr = run_raw(w.parse(scale=1))
+        assert rc.status == rr.status
+        assert rc.stdout == rr.stdout
+
+
+class TestRepresentation:
+    def test_rep_fseq_two_words(self):
+        from repro.cil import types as T
+        from repro.core.metadata import rep_type
+        from repro.core.qualifiers import Node, PointerKind
+        p = T.TPtr(T.int_t())
+        n = Node(p, "t")
+        n.kind = PointerKind.FSEQ
+        n.solved = True
+        p.node = n
+        rep = rep_type(p)
+        assert [f.name for f in T.unroll(rep).comp.fields] == \
+            ["p", "e"]
+
+    def test_meta_fseq_has_e_only(self):
+        from repro.cil import types as T
+        from repro.core.metadata import meta_type
+        from repro.core.qualifiers import Node, PointerKind
+        p = T.TPtr(T.char_t())
+        n = Node(p, "t")
+        n.kind = PointerKind.FSEQ
+        n.solved = True
+        p.node = n
+        mt = meta_type(p)
+        assert [f.name for f in T.unroll(mt).comp.fields] == ["e"]

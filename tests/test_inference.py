@@ -1,0 +1,289 @@
+"""Tests for pointer-kind inference (constraints + solver).
+
+Each test states a pointer-usage pattern and checks the inferred kind,
+following the rules of Sections 2, 3.1 and 3.2 of the paper.
+"""
+
+from helpers import cure_src, kinds_of
+
+from repro.core import CureOptions, PointerKind, cure
+
+
+class TestBasicKinds:
+    def test_plain_deref_is_safe(self):
+        c = cure_src("""
+        int main(void) { int x = 1; int *p = &x; return *p; }
+        """)
+        assert kinds_of(c, "main")["p"] == "SAFE"
+
+    def test_arithmetic_forces_seq(self):
+        c = cure_src("""
+        int main(void) { int a[4]; int *p = a; p = p + 1;
+          return *p; }
+        """)
+        assert kinds_of(c, "main")["p"] == "SEQ"
+
+    def test_indexing_pointer_forces_seq(self):
+        c = cure_src("""
+        int f(int *xs) { return xs[2]; }
+        int main(void) { int a[4]; return f(a); }
+        """)
+        assert kinds_of(c, "f")["xs"] == "SEQ"
+
+    def test_pointer_difference_forces_seq(self):
+        c = cure_src("""
+        int main(void) { int a[4]; int *p = a; int *q = a;
+          return (int)(p - q); }
+        """)
+        ks = kinds_of(c, "main")
+        assert ks["p"] == "SEQ" and ks["q"] == "SEQ"
+
+    def test_bad_cast_forces_wild(self):
+        c = cure_src("""
+        int main(void) { int x; int *p = &x; char *q = (char*)p;
+          return *q; }
+        """)
+        ks = kinds_of(c, "main")
+        assert ks["p"] == "WILD" and ks["q"] == "WILD"
+
+    def test_int_to_pointer_forces_seq(self):
+        c = cure_src("""
+        int main(void) { int *p = (int*)16; return p == (int*)0; }
+        """)
+        assert kinds_of(c, "main")["p"] in ("SEQ", "WILD")
+
+    def test_unconstrained_formal_safe(self):
+        c = cure_src("""
+        int get(int *p) { return *p; }
+        int main(void) { int x = 3; return get(&x); }
+        """)
+        assert kinds_of(c, "get")["p"] == "SAFE"
+
+
+class TestWildSpreading:
+    def test_wild_spreads_through_assignment(self):
+        c = cure_src("""
+        int main(void) {
+          int x; int *p = &x; int *q;
+          q = p;
+          char *bad = (char*)q;   /* q wild -> p wild */
+          return bad == (char*)0;
+        }
+        """)
+        ks = kinds_of(c, "main")
+        assert ks["p"] == "WILD" and ks["q"] == "WILD"
+
+    def test_wild_spreads_into_base_type(self):
+        # A WILD int** makes the inner int* WILD too (soundness
+        # condition: nothing typed under an untyped pointer).
+        c = cure_src("""
+        int main(void) {
+          int x; int *p = &x; int **pp = &p;
+          char *bad = (char*)pp;
+          return bad == (char*)0;
+        }
+        """)
+        ks = kinds_of(c, "main")
+        assert ks["pp"] == "WILD"
+        assert ks["p"] == "WILD"
+
+    def test_wild_spreads_through_struct_fields(self):
+        # The paper: "Even a small number of casts ... can result in a
+        # large number of WILD pointers."
+        c = cure_src("""
+        struct box { int *inner; };
+        int main(void) {
+          struct box b; int x;
+          b.inner = &x;
+          struct box *pb = &b;
+          char *bad = (char*)pb;
+          return bad == (char*)0;
+        }
+        """)
+        ks = kinds_of(c, "main")
+        assert ks["pb"] == "WILD"
+        # the field's node must be wild too
+        comp = c.prog.comps["box"]
+        from repro.cil import types as T
+        field_ptr = T.unroll(comp.field("inner").type)
+        assert field_ptr.node.kind is PointerKind.WILD
+
+    def test_wild_spreads_through_call(self):
+        c = cure_src("""
+        int use(int *p) { return *p; }
+        int main(void) {
+          int x; int *p = &x;
+          char *bad = (char*)p;
+          return use(p);
+        }
+        """)
+        assert kinds_of(c, "use")["p"] == "WILD"
+
+    def test_unrelated_pointers_stay_safe(self):
+        c = cure_src("""
+        int main(void) {
+          int x; int *clean = &x;
+          int y; int *dirty = &y;
+          char *bad = (char*)dirty;
+          return *clean;
+        }
+        """)
+        ks = kinds_of(c, "main")
+        assert ks["clean"] == "SAFE"
+        assert ks["dirty"] == "WILD"
+
+
+class TestPhysicalSubtyping:
+    def test_upcast_stays_safe(self, figure_circle_src):
+        c = cure_src(figure_circle_src)
+        ks = kinds_of(c, "main")
+        assert ks["f"] == "SAFE"
+
+    def test_upcast_wild_without_physical(self, figure_circle_src):
+        c = cure(figure_circle_src,
+                 options=CureOptions(use_physical=False,
+                                     use_rtti=False))
+        ks = kinds_of(c, "main")
+        assert ks["f"] == "WILD"
+
+    def test_seq_upcast_incompatible_sizes_goes_wild(self):
+        # Circle* SEQ -> Figure* SEQ is the paper's unsoundness
+        # example; with arithmetic it must fall back to WILD.
+        c = cure_src("""
+        struct Fig { int tag; };
+        struct Cir { int tag; double r; };
+        int main(void) {
+          struct Cir cs[4];
+          struct Cir *c = cs;
+          struct Fig *f = (struct Fig*)c;
+          f = f + 1;           /* re-slices the layout: unsound */
+          return f->tag;
+        }
+        """)
+        ks = kinds_of(c, "main")
+        assert ks["f"] == "WILD"
+        assert ks["c"] == "WILD"
+
+    def test_seq_cast_commensurate_ok(self):
+        # int[2]* -> int* with arithmetic: allowed for SEQ.
+        c = cure_src("""
+        int main(void) {
+          int grid[3][2];
+          int *flat = (int*)grid;
+          int i, s = 0;
+          for (i = 0; i < 6; i++) s += flat[i];
+          return s;
+        }
+        """)
+        assert kinds_of(c, "main")["flat"] == "SEQ"
+
+
+class TestRtti:
+    def test_downcast_source_becomes_rtti(self, figure_circle_src):
+        c = cure_src(figure_circle_src)
+        assert kinds_of(c, "circle_area")["obj"] == "RTTI"
+
+    def test_downcast_result_stays_safe(self, figure_circle_src):
+        c = cure_src(figure_circle_src)
+        assert kinds_of(c, "circle_area")["cir"] == "SAFE"
+
+    def test_rtti_propagates_against_dataflow(self):
+        # The paper's q1..q4 example: Circle* -> Figure* -> void* ->
+        # Circle*.  q3 (void*) is RTTI because of the downcast; q2
+        # (Figure*) becomes RTTI by backwards propagation; q1 stays
+        # SAFE because Circle* has no subtypes; q4 is unconstrained.
+        c = cure_src("""
+        struct Figure { int tag; };
+        struct Circle { int tag; int radius; };
+        int main(void) {
+          struct Circle cobj;
+          struct Circle *q1 = &cobj;
+          struct Figure *q2 = (struct Figure*)q1;
+          void *q3 = (void*)q2;
+          struct Circle *q4 = (struct Circle*)q3;
+          return q4->radius;
+        }
+        """)
+        ks = kinds_of(c, "main")
+        assert ks["q3"] == "RTTI"
+        assert ks["q2"] == "RTTI"
+        assert ks["q1"] == "SAFE"
+        assert ks["q4"] == "SAFE"
+
+    def test_no_rtti_all_downcasts_wild(self, figure_circle_src):
+        c = cure(figure_circle_src,
+                 options=CureOptions(use_rtti=False))
+        assert kinds_of(c, "circle_area")["obj"] == "WILD"
+
+    def test_rtti_with_arith_conflict_goes_wild(self):
+        # A pointer that is both a downcast source (needs RTTI) and
+        # does pointer arithmetic (needs SEQ bounds) has no
+        # representation: it falls back to WILD.
+        c = cure_src("""
+        struct A { int tag; };
+        struct Sub { int tag; int extra; };
+        int main(void) {
+          struct A arr[4];
+          struct A *p = arr;
+          p = p + 1;                      /* arithmetic on p */
+          struct Sub *s = (struct Sub*)p; /* downcast: p needs RTTI */
+          return s == (struct Sub*)0;
+        }
+        """)
+        ks = kinds_of(c, "main")
+        assert ks["p"] == "WILD"
+
+    def test_interior_pointer_keeps_rtti_conservatively(self):
+        # Arithmetic through a *different* (char*) view does not force
+        # the RTTI pointer WILD; the interior pointer simply carries a
+        # conservative dynamic type.
+        c = cure_src("""
+        struct A { int x; };
+        int main(void) {
+          struct A arr[2];
+          void *v = (void*)arr;
+          struct A *a = (struct A*)v;  /* downcast: v needs RTTI */
+          v = (char*)v + 4;            /* arith on the char* view */
+          return a->x;
+        }
+        """)
+        assert kinds_of(c, "main")["v"] == "RTTI"
+
+    def test_wild_wins_over_rtti(self):
+        c = cure_src("""
+        struct A { int x; };
+        int main(void) {
+          struct A obj; int y;
+          void *v = (void*)&obj;
+          struct A *a = (struct A*)v;   /* downcast: RTTI */
+          char *bad = (char*)&y;
+          v = (void*)bad;               /* flows from WILD */
+          return a->x;
+        }
+        """)
+        ks = kinds_of(c, "main")
+        assert ks["bad"] == "WILD"
+        assert ks["v"] == "WILD"
+
+
+class TestStatistics:
+    def test_declaration_percentages_sum_to_one(self, figure_circle_src):
+        c = cure_src(figure_circle_src)
+        pct = c.kind_percentages()
+        total = sum(pct.values())
+        assert abs(total - 1.0) < 1e-9
+
+    def test_report_contains_kinds(self, figure_circle_src):
+        c = cure_src(figure_circle_src)
+        rep = c.report()
+        assert "safe=" in rep and "casts:" in rep
+
+    def test_solver_idempotent_kinds(self, figure_circle_src):
+        c1 = cure_src(figure_circle_src)
+        c2 = cure_src(figure_circle_src)
+        assert kinds_of(c1, "main") == kinds_of(c2, "main")
+
+    def test_checks_disabled_option(self):
+        c = cure("int main(void){ int a[3]; int *p = a; return p[1]; }",
+                 options=CureOptions(checks=False))
+        assert not c.check_counts

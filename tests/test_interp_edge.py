@@ -1,0 +1,245 @@
+"""Edge-case tests for the interpreter: conversions, unions, varargs,
+scoping, and the defensive machinery."""
+
+import pytest
+
+from helpers import cure_src, run_both
+
+from repro.core import cure
+from repro.frontend import parse_program
+from repro.interp import Interpreter, run_cured, run_raw
+from repro.runtime.checks import (InterpreterLimitError, LinkError,
+                                  MemorySafetyError)
+
+
+class TestConversions:
+    def test_float_to_int_truncates(self):
+        rc, _ = run_both("""
+        int main(void) { double d = 3.99; return (int)d; }
+        """)
+        assert rc.status == 3
+
+    def test_negative_float_to_int(self):
+        rc, _ = run_both("""
+        int main(void) { double d = -3.99; int i = (int)d;
+          return i + 10; }
+        """)
+        assert rc.status == 7
+
+    def test_int_to_float_exact(self):
+        rc, _ = run_both("""
+        int main(void) { int i = 7; double d = i; return (int)(d * 2.0); }
+        """)
+        assert rc.status == 14
+
+    def test_unsigned_comparison(self):
+        rc, _ = run_both("""
+        int main(void) {
+          unsigned int big = 0xFFFFFFF0u;
+          unsigned int small = 4;
+          return big > small;
+        }
+        """)
+        assert rc.status == 1
+
+    def test_long_long_arithmetic(self):
+        rc, _ = run_both("""
+        int main(void) {
+          unsigned long long x = 1;
+          int i;
+          for (i = 0; i < 40; i++) x = x * 2;
+          return (int)(x >> 32);   /* 2^40 >> 32 = 256 */
+        }
+        """)
+        assert rc.status == 256
+
+    def test_char_sign_extension_in_comparison(self):
+        rc, _ = run_both("""
+        int main(void) {
+          char c = (char)0x80;   /* -128 */
+          return c < 0;
+        }
+        """)
+        assert rc.status == 1
+
+    def test_pointer_to_int_roundtrip(self):
+        rc, _ = run_both("""
+        int main(void) {
+          int x = 5;
+          int *p = &x;
+          unsigned int addr = (unsigned int)p;
+          int *q = (int *)addr;
+          return q == p;
+        }
+        """)
+        assert rc.status == 1
+
+
+class TestUnions:
+    def test_union_member_overlay(self):
+        rc, _ = run_both("""
+        union u { unsigned int word; unsigned char bytes[4]; };
+        int main(void) {
+          union u v;
+          v.word = 0x01020304u;
+          return v.bytes[0];   /* little-endian: 0x04 */
+        }
+        """)
+        assert rc.status == 4
+
+    def test_union_assignment(self):
+        rc, _ = run_both("""
+        union u { int i; float f; };
+        int main(void) {
+          union u a;
+          union u b;
+          a.i = 42;
+          b = a;
+          return b.i;
+        }
+        """)
+        assert rc.status == 42
+
+
+class TestVarargsAndCalls:
+    def test_printf_many_args(self):
+        rc, _ = run_both(r'''
+        #include <stdio.h>
+        int main(void) {
+          printf("%d %d %d %d %d %d\n", 1, 2, 3, 4, 5, 6);
+          return 0;
+        }
+        ''')
+        assert rc.stdout == "1 2 3 4 5 6\n"
+
+    def test_missing_args_default_zero(self):
+        # A call with fewer args than formals binds zeros (defensive).
+        c = cure_src("""
+        int f(int a, int b) { return a + b; }
+        int main(void) { return f(5, 2); }
+        """)
+        assert run_cured(c).status == 7
+
+    def test_mutual_recursion(self):
+        rc, _ = run_both("""
+        int is_odd(int n);
+        int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }
+        int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }
+        int main(void) { return is_even(10) * 10 + is_odd(7); }
+        """)
+        assert rc.status == 11
+
+    def test_function_pointer_through_struct(self):
+        rc, _ = run_both("""
+        struct ops { int (*apply)(int); };
+        int inc(int x) { return x + 1; }
+        int main(void) {
+          struct ops o;
+          o.apply = inc;
+          return o.apply(41);
+        }
+        """)
+        assert rc.status == 42
+
+    def test_step_budget_enforced(self):
+        c = cure_src("""
+        int main(void) { while (1) { } return 0; }
+        """)
+        with pytest.raises(InterpreterLimitError):
+            run_cured(c, max_steps=10_000)
+
+
+class TestScopingAndGlobals:
+    def test_global_function_pointer_table_initializer(self):
+        rc, _ = run_both("""
+        int a(void) { return 1; }
+        int b(void) { return 2; }
+        int (*table[2])(void) = { a, b };
+        int main(void) { return table[0]() * 10 + table[1](); }
+        """)
+        assert rc.status == 12
+
+    def test_global_pointer_to_global(self):
+        rc, _ = run_both("""
+        int value = 9;
+        int *pvalue = &value;
+        int main(void) { return *pvalue; }
+        """)
+        assert rc.status == 9
+
+    def test_static_local_persists(self):
+        rc, _ = run_both("""
+        int counter(void) { static int n = 10; n++; return n; }
+        int main(void) { counter(); counter(); return counter(); }
+        """)
+        assert rc.status == 13
+
+    def test_shadowing_in_blocks(self):
+        rc, _ = run_both("""
+        int main(void) {
+          int x = 1;
+          { int x = 2; { int x = 3; if (x != 3) return 99; } }
+          return x;
+        }
+        """)
+        assert rc.status == 1
+
+    def test_no_main_raises_link_error(self):
+        prog = parse_program("int helper(void) { return 1; }", "nm")
+        with pytest.raises(LinkError):
+            run_raw(prog)
+
+
+class TestDefensiveMachinery:
+    def test_cured_null_deref_without_check_still_caught(self):
+        """Even if instrumentation missed a site, the cured
+        interpreter's defense-in-depth rejects a null dereference."""
+        from repro.core import CureOptions
+        c = cure("""
+        int main(void) { int *p = 0; return *p; }
+        """, options=CureOptions(checks=True), name="d")
+        # strip the inserted checks to simulate a transformer gap
+        from repro.cil import stmt as S
+        from repro.cil.program import GFun
+
+        def strip(block):
+            for s in block.stmts:
+                if isinstance(s, S.InstrStmt):
+                    s.instrs = [i for i in s.instrs
+                                if not isinstance(i, S.Check)]
+                elif isinstance(s, S.Block):
+                    strip(s)
+                elif isinstance(s, S.If):
+                    strip(s.then)
+                    strip(s.els)
+                elif isinstance(s, S.Loop):
+                    strip(s.body)
+
+        for g in c.prog.globals:
+            if isinstance(g, GFun):
+                strip(g.fundec.body)
+        with pytest.raises(MemorySafetyError):
+            run_cured(c)
+
+    def test_interpreter_reuse_forbidden_state_isolated(self):
+        """Two interpreter instances over the same cured program do
+        not share memory state."""
+        c = cure("""
+        int counter = 0;
+        int main(void) { counter++; return counter; }
+        """, name="iso")
+        assert run_cured(c).status == 1
+        assert run_cured(c).status == 1  # fresh memory each run
+
+    def test_stdout_limit(self):
+        c = cure_src(r'''
+        #include <stdio.h>
+        int main(void) {
+          int i;
+          for (i = 0; i < 100000; i++)
+            printf("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx\n");
+          return 0;
+        }
+        ''')
+        with pytest.raises(InterpreterLimitError):
+            run_cured(c, max_steps=5_000_000)

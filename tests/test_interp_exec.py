@@ -1,0 +1,398 @@
+"""Interpreter correctness: C semantics, cured and raw agreeing.
+
+Each test runs a program in both modes (via ``run_both``) and checks
+the observable behaviour; cured/raw agreement on well-defined programs
+is itself a soundness property of the instrumentation ("the cure does
+not change the meaning of correct programs").
+"""
+
+import pytest
+
+from helpers import cure_src, run_both
+
+from repro.core import cure
+from repro.interp import run_cured, run_raw
+from repro.frontend import parse_program
+from repro.runtime.checks import (InterpreterLimitError, ProgramAbort,
+                                  ProgramExit)
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        rc, _ = run_both("""
+        int main(void) {
+          int a = 17, b = 5;
+          return a / b * 100 + a % b * 10 + (a ^ b) % 10;
+        }
+        """)
+        assert rc.status == (17 // 5) * 100 + (17 % 5) * 10 + \
+            ((17 ^ 5) % 10)
+
+    def test_c_division_truncates_toward_zero(self):
+        rc, _ = run_both("""
+        int main(void) { return (-7) / 2 + 10; }
+        """)
+        assert rc.status == -3 + 10
+
+    def test_c_modulo_sign(self):
+        rc, _ = run_both("int main(void) { return (-7) % 3 + 5; }")
+        assert rc.status == -1 + 5
+
+    def test_unsigned_wraparound(self):
+        rc, _ = run_both("""
+        int main(void) {
+          unsigned int u = 0xFFFFFFFF;
+          u = u + 2;
+          return (int)u;
+        }
+        """)
+        assert rc.status == 1
+
+    def test_char_truncation(self):
+        rc, _ = run_both("""
+        int main(void) { char c = (char)300; return c; }
+        """)
+        assert rc.status == 300 - 256
+
+    def test_signed_char_negative(self):
+        rc, _ = run_both("""
+        int main(void) { char c = (char)200; return c + 100; }
+        """)
+        assert rc.status == (200 - 256) + 100
+
+    def test_shift_ops(self):
+        rc, _ = run_both(
+            "int main(void) { return (1 << 10) | (256 >> 4); }")
+        assert rc.status == 1024 | 16
+
+    def test_float_arithmetic(self):
+        rc, _ = run_both("""
+        int main(void) {
+          double d = 1.5;
+          float f = 2.5f;
+          return (int)(d * f * 4.0);
+        }
+        """)
+        assert rc.status == 15
+
+    def test_division_by_zero_aborts(self):
+        c = cure_src("int main(void) { int z = 0; return 5 / z; }")
+        with pytest.raises(ProgramAbort):
+            run_cured(c)
+
+    def test_comparison_chain(self):
+        rc, _ = run_both("""
+        int main(void) {
+          int a = 3, b = 7;
+          return (a < b) * 8 + (a == b) * 4 + (a >= b) * 2 + (a != b);
+        }
+        """)
+        assert rc.status == 9
+
+
+class TestControlFlow:
+    def test_nested_loops(self):
+        rc, _ = run_both("""
+        int main(void) {
+          int i, j, s = 0;
+          for (i = 0; i < 5; i++)
+            for (j = 0; j < i; j++)
+              s += j;
+          return s;
+        }
+        """)
+        assert rc.status == sum(j for i in range(5) for j in range(i))
+
+    def test_while_and_do_while(self):
+        rc, _ = run_both("""
+        int main(void) {
+          int i = 0, s = 0;
+          while (i < 4) { s += i; i++; }
+          do { s += 100; } while (0);
+          return s;
+        }
+        """)
+        assert rc.status == 6 + 100
+
+    def test_continue_runs_for_post(self):
+        rc, _ = run_both("""
+        int main(void) {
+          int i, s = 0;
+          for (i = 0; i < 10; i++) {
+            if (i % 2 == 0) continue;
+            s += i;
+          }
+          return s;
+        }
+        """)
+        assert rc.status == 1 + 3 + 5 + 7 + 9
+
+    def test_break_in_switch_inside_loop(self):
+        rc, _ = run_both("""
+        int main(void) {
+          int i, s = 0;
+          for (i = 0; i < 5; i++) {
+            switch (i) {
+              case 2: s += 20; break;
+              default: s += 1; break;
+            }
+          }
+          return s;
+        }
+        """)
+        assert rc.status == 24
+
+    def test_short_circuit_skips_effects(self):
+        rc, _ = run_both("""
+        int calls = 0;
+        int bump(void) { calls++; return 1; }
+        int main(void) {
+          int zero = 0;
+          if (zero && bump()) return 99;
+          if (1 || bump()) { }
+          return calls;
+        }
+        """)
+        assert rc.status == 0
+
+    def test_recursion(self):
+        rc, _ = run_both("""
+        int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }
+        int main(void) { return fib(12); }
+        """)
+        assert rc.status == 144
+
+    def test_deep_recursion_limited(self):
+        c = cure_src("""
+        int down(int n) { return n == 0 ? 0 : down(n - 1); }
+        int main(void) { return down(100000); }
+        """)
+        with pytest.raises(InterpreterLimitError):
+            run_cured(c)
+
+    def test_exit_status(self):
+        c = cure_src("""
+        #include <stdlib.h>
+        int main(void) { exit(42); return 0; }
+        """)
+        assert run_cured(c).status == 42
+
+
+class TestPointersAndMemory:
+    def test_swap_through_pointers(self):
+        rc, _ = run_both("""
+        void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+        int main(void) {
+          int x = 3, y = 5;
+          swap(&x, &y);
+          return x * 10 + y;
+        }
+        """)
+        assert rc.status == 53
+
+    def test_pointer_iteration(self):
+        rc, _ = run_both("""
+        int main(void) {
+          int a[6];
+          int *p;
+          int s = 0;
+          for (p = a; p < a + 6; p++) *p = (int)(p - a);
+          for (p = a; p < a + 6; p++) s += *p;
+          return s;
+        }
+        """)
+        assert rc.status == 15
+
+    def test_struct_copy_assignment(self):
+        rc, _ = run_both("""
+        struct pair { int a; int b; };
+        int main(void) {
+          struct pair p = { 1, 2 };
+          struct pair q;
+          q = p;
+          p.a = 99;
+          return q.a * 10 + q.b;
+        }
+        """)
+        assert rc.status == 12
+
+    def test_struct_with_pointer_copied(self):
+        rc, _ = run_both("""
+        struct holder { int *p; };
+        int main(void) {
+          int x = 7;
+          struct holder h1;
+          struct holder h2;
+          h1.p = &x;
+          h2 = h1;
+          return *h2.p;
+        }
+        """)
+        assert rc.status == 7
+
+    def test_nested_struct_access(self):
+        rc, _ = run_both("""
+        struct in { int v; };
+        struct out { struct in first; struct in second; };
+        int main(void) {
+          struct out o;
+          o.first.v = 3;
+          o.second.v = 4;
+          return o.first.v * 10 + o.second.v;
+        }
+        """)
+        assert rc.status == 34
+
+    def test_array_of_structs(self):
+        rc, _ = run_both("""
+        struct item { int k; int v; };
+        int main(void) {
+          struct item items[3];
+          int i, s = 0;
+          for (i = 0; i < 3; i++) { items[i].k = i; items[i].v = i*i; }
+          for (i = 0; i < 3; i++) s += items[i].v;
+          return s;
+        }
+        """)
+        assert rc.status == 5
+
+    def test_linked_list_on_heap(self):
+        rc, _ = run_both("""
+        #include <stdlib.h>
+        struct node { int v; struct node *next; };
+        int main(void) {
+          struct node *head = 0;
+          int i, s = 0;
+          for (i = 0; i < 5; i++) {
+            struct node *n = (struct node*)malloc(sizeof(struct node));
+            n->v = i;
+            n->next = head;
+            head = n;
+          }
+          while (head) { s += head->v; head = head->next; }
+          return s;
+        }
+        """)
+        assert rc.status == 10
+
+    def test_global_initializers(self):
+        rc, _ = run_both("""
+        int table[4] = { 2, 4, 6, 8 };
+        struct cfg { int a; int b; } config = { 10, 20 };
+        int main(void) {
+          return table[0] + table[3] + config.a + config.b;
+        }
+        """)
+        assert rc.status == 2 + 8 + 10 + 20
+
+    def test_global_string_and_pointer(self):
+        rc, _ = run_both("""
+        #include <string.h>
+        char greeting[] = "hello";
+        char *name = "world";
+        int main(void) {
+          return (int)(strlen(greeting) + strlen(name));
+        }
+        """)
+        assert rc.status == 10
+
+    def test_pointer_to_pointer(self):
+        rc, _ = run_both("""
+        int main(void) {
+          int x = 5;
+          int *p = &x;
+          int **pp = &p;
+          **pp = 9;
+          return x;
+        }
+        """)
+        assert rc.status == 9
+
+    def test_void_pointer_roundtrip(self):
+        rc, _ = run_both("""
+        int main(void) {
+          int x = 21;
+          void *v = &x;
+          int *p = (int *)v;
+          return *p * 2;
+        }
+        """)
+        assert rc.status == 42
+
+    def test_union_int_float_reinterpret(self):
+        rc, _ = run_both("""
+        union conv { int i; unsigned int u; };
+        int main(void) {
+          union conv c;
+          c.i = -1;
+          return c.u == 0xFFFFFFFF;
+        }
+        """)
+        assert rc.status == 1
+
+    def test_function_pointer_table(self):
+        rc, _ = run_both("""
+        int add(int a, int b) { return a + b; }
+        int mul(int a, int b) { return a * b; }
+        int main(void) {
+          int (*ops[2])(int, int);
+          ops[0] = add;
+          ops[1] = mul;
+          return ops[0](3, 4) * 100 + ops[1](3, 4);
+        }
+        """)
+        assert rc.status == 712
+
+    def test_argv_passing(self):
+        c = cure_src("""
+        #include <string.h>
+        int main(int argc, char **argv) {
+          if (argc != 3) return 1;
+          return (int)(strlen(argv[1]) + strlen(argv[2]));
+        }
+        """)
+        res = run_cured(c, args=["ab", "cde"])
+        assert res.status == 5
+
+    def test_stdin_reading(self):
+        c = cure_src("""
+        #include <stdio.h>
+        int main(void) {
+          int c2, n = 0;
+          while ((c2 = getchar()) != EOF) n++;
+          return n;
+        }
+        """)
+        assert run_cured(c, stdin="hello").status == 5
+
+
+class TestOutput:
+    def test_printf_formats(self):
+        rc, _ = run_both(r'''
+        #include <stdio.h>
+        int main(void) {
+          printf("%d|%u|%x|%c|%s|%05d|%.2f|%%\n",
+                 -5, 7, 255, 65, "str", 42, 3.14159, 0);
+          return 0;
+        }
+        ''')
+        assert rc.stdout == "-5|7|ff|A|str|00042|3.14|%\n"
+
+    def test_puts_putchar(self):
+        rc, _ = run_both("""
+        #include <stdio.h>
+        int main(void) { puts("line"); putchar('!'); return 0; }
+        """)
+        assert rc.stdout == "line\n!"
+
+    def test_sprintf_roundtrip(self):
+        rc, _ = run_both(r'''
+        #include <stdio.h>
+        #include <string.h>
+        int main(void) {
+          char buf[64];
+          sprintf(buf, "n=%d s=%s", 7, "x");
+          return (int)strlen(buf);
+        }
+        ''')
+        assert rc.status == len("n=7 s=x")

@@ -1,0 +1,269 @@
+"""Tests for the builtin libc subset and its wrapper behaviour."""
+
+import pytest
+
+from helpers import cure_src, run_both
+
+from repro.interp import run_cured
+from repro.runtime.checks import BoundsError, ProgramAbort
+
+
+class TestStrings:
+    def test_strlen_strcpy_strcat(self):
+        rc, _ = run_both(r'''
+        #include <string.h>
+        int main(void) {
+          char buf[32];
+          strcpy(buf, "ab");
+          strcat(buf, "cde");
+          return (int)strlen(buf);
+        }
+        ''')
+        assert rc.status == 5
+
+    def test_strncpy_pads_and_limits(self):
+        rc, _ = run_both(r'''
+        #include <string.h>
+        int main(void) {
+          char buf[8];
+          strncpy(buf, "abcdef", 3);
+          buf[3] = 0;
+          return (int)strlen(buf);
+        }
+        ''')
+        assert rc.status == 3
+
+    def test_strcmp_orders(self):
+        rc, _ = run_both(r'''
+        #include <string.h>
+        int main(void) {
+          int a = strcmp("abc", "abd");
+          int b = strcmp("abc", "abc");
+          int c = strcmp("abd", "abc");
+          return (a < 0) * 100 + (b == 0) * 10 + (c > 0);
+        }
+        ''')
+        assert rc.status == 111
+
+    def test_strncmp(self):
+        rc, _ = run_both(r'''
+        #include <string.h>
+        int main(void) { return strncmp("abcX", "abcY", 3) == 0; }
+        ''')
+        assert rc.status == 1
+
+    def test_strchr_returns_interior_pointer(self):
+        rc, _ = run_both(r'''
+        #include <string.h>
+        int main(void) {
+          char s[16];
+          strcpy(s, "hello");
+          char *p = strchr(s, 'l');
+          if (p == (char*)0) return 99;
+          return (int)(p - s);
+        }
+        ''')
+        assert rc.status == 2
+
+    def test_strchr_interior_pointer_keeps_bounds(self):
+        # Figure 3's wrapper: the result is __mkptr(result, str), so
+        # arithmetic on it stays checked against the *string's* home.
+        c = cure_src(r'''
+        #include <string.h>
+        int main(void) {
+          char s[8];
+          strcpy(s, "abcdef");
+          char *p = strchr(s, 'c');
+          p = p + 10;      /* out of bounds of s */
+          return *p;
+        }
+        ''')
+        with pytest.raises(BoundsError):
+            run_cured(c)
+
+    def test_strchr_not_found(self):
+        rc, _ = run_both(r'''
+        #include <string.h>
+        int main(void) { return strchr("abc", 'z') == (char*)0; }
+        ''')
+        assert rc.status == 1
+
+    def test_strrchr_and_strstr(self):
+        rc, _ = run_both(r'''
+        #include <string.h>
+        int main(void) {
+          char *s = "abcabc";
+          return (int)(strrchr(s, 'b') - s) * 10
+               + (int)(strstr(s, "cab") - s);
+        }
+        ''')
+        assert rc.status == 42
+
+    def test_strdup_makes_heap_copy(self):
+        rc, _ = run_both(r'''
+        #include <string.h>
+        #include <stdlib.h>
+        int main(void) {
+          char orig[8];
+          strcpy(orig, "dup");
+          char *copy = strdup(orig);
+          orig[0] = 'X';
+          int same = strcmp(copy, "dup") == 0;
+          free(copy);
+          return same;
+        }
+        ''')
+        assert rc.status == 1
+
+
+class TestMemOps:
+    def test_memset_memcmp(self):
+        rc, _ = run_both(r'''
+        #include <string.h>
+        int main(void) {
+          char a[8];
+          char b[8];
+          memset(a, 7, 8);
+          memset(b, 7, 8);
+          return memcmp(a, b, 8) == 0;
+        }
+        ''')
+        assert rc.status == 1
+
+    def test_memcpy_copies_pointers_with_metadata(self):
+        # memcpy must move shadow metadata with the bytes, or the
+        # copied SEQ pointer would lose its bounds.
+        rc, _ = run_both(r'''
+        #include <string.h>
+        int main(void) {
+          int arr[4];
+          int *src[1];
+          int *dst[1];
+          arr[2] = 55;
+          src[0] = arr;
+          memcpy((void*)dst, (void*)src, sizeof(src));
+          int *p = dst[0];
+          return p[2];
+        }
+        ''')
+        assert rc.status == 55
+
+
+class TestStdlib:
+    def test_calloc_zeroes(self):
+        rc, _ = run_both(r'''
+        #include <stdlib.h>
+        int main(void) {
+          int *p = (int *)calloc(4, sizeof(int));
+          return p[0] + p[3];
+        }
+        ''')
+        assert rc.status == 0
+
+    def test_realloc_preserves_prefix(self):
+        rc, _ = run_both(r'''
+        #include <stdlib.h>
+        int main(void) {
+          int *p = (int *)malloc(2 * sizeof(int));
+          p[0] = 11; p[1] = 22;
+          p = (int *)realloc(p, 4 * sizeof(int));
+          p[3] = 33;
+          return p[0] + p[1] + p[3];
+        }
+        ''')
+        assert rc.status == 66
+
+    def test_atoi(self):
+        rc, _ = run_both(r'''
+        #include <stdlib.h>
+        int main(void) {
+          return atoi("  -42xyz") + atoi("100") + atoi("junk");
+        }
+        ''')
+        assert rc.status == 58
+
+    def test_abs(self):
+        rc, _ = run_both(
+            "#include <stdlib.h>\n"
+            "int main(void){ return abs(-7) + abs(7); }")
+        assert rc.status == 14
+
+    def test_rand_deterministic(self):
+        c1 = cure_src(r'''
+        #include <stdlib.h>
+        int main(void) { srand(7); return rand() % 100; }
+        ''', "r1")
+        c2 = cure_src(r'''
+        #include <stdlib.h>
+        int main(void) { srand(7); return rand() % 100; }
+        ''', "r2")
+        assert run_cured(c1).status == run_cured(c2).status
+
+    def test_qsort_ints(self):
+        rc, _ = run_both(r'''
+        #include <stdlib.h>
+        int cmp(const void *a, const void *b) {
+          const int *x = (const int *)a;
+          const int *y = (const int *)b;
+          return *x - *y;
+        }
+        int main(void) {
+          int v[5] = { 9, 1, 8, 2, 7 };
+          qsort((void*)v, 5, sizeof(int), cmp);
+          return v[0] * 1000 + v[1] * 100 + v[2] * 10 + v[4] % 10;
+        }
+        ''')
+        assert rc.status == 1000 + 200 + 70 + 9
+
+    def test_assert_macro(self):
+        c = cure_src(r'''
+        #include <assert.h>
+        int main(void) { int x = 1; assert(x == 2); return 0; }
+        ''')
+        with pytest.raises(ProgramAbort):
+            run_cured(c)
+
+    def test_assert_passing(self):
+        rc, _ = run_both(r'''
+        #include <assert.h>
+        int main(void) { assert(1 + 1 == 2); return 5; }
+        ''')
+        assert rc.status == 5
+
+
+class TestCcuredHelpers:
+    def test_ccured_length(self):
+        c = cure_src(r'''
+        #include <ccured.h>
+        int main(void) {
+          char buf[24];
+          return (int)__ccured_length(buf);
+        }
+        ''')
+        assert run_cured(c).status == 24
+
+    def test_ptrof_mkptr_roundtrip(self):
+        c = cure_src(r'''
+        #include <ccured.h>
+        #include <string.h>
+        int main(void) {
+          char s[8];
+          strcpy(s, "abc");
+          char *lib = (char *)__ptrof(s);      /* strip metadata */
+          char *back = (char *)__mkptr(lib, s); /* rebuild */
+          return (int)strlen(back);
+        }
+        ''')
+        assert run_cured(c).status == 3
+
+    def test_verify_size_check(self):
+        c = cure_src(r'''
+        #include <ccured.h>
+        int main(void) {
+          char buf[4];
+          __verify_size(buf, 16);
+          return 0;
+        }
+        ''')
+        with pytest.raises(BoundsError):
+            run_cured(c)

@@ -1,0 +1,161 @@
+"""Unit tests for the memory model (homes, shadow metadata, spanning)."""
+
+import pytest
+
+from repro.runtime.checks import SegmentationFault
+from repro.runtime.memory import Memory, PtrMeta
+
+
+class TestAllocation:
+    def test_regions_are_disjoint(self):
+        m = Memory()
+        h1 = m.alloc(16, "heap")
+        h2 = m.alloc(16, "stack")
+        h3 = m.alloc(16, "global")
+        bases = sorted([h1.base, h2.base, h3.base])
+        assert len(set(bases)) == 3
+
+    def test_homes_word_aligned(self):
+        m = Memory()
+        m.alloc(3, "heap")
+        h = m.alloc(5, "heap")
+        assert h.base % 4 == 0
+
+    def test_gap_regions(self):
+        m = Memory(gap_regions={"heap"})
+        a = m.alloc(8, "heap")
+        b = m.alloc(8, "heap")
+        assert b.base >= a.end + 4
+
+    def test_contiguous_packing(self):
+        m = Memory(gap_regions=set())
+        a = m.alloc(8, "heap")
+        b = m.alloc(8, "heap")
+        assert b.base == a.end
+
+    def test_home_of_resolution(self):
+        m = Memory()
+        h = m.alloc(16, "heap", "blk")
+        assert m.home_of(h.base) is h
+        assert m.home_of(h.base + 15) is h
+        assert m.home_of(h.end) is not h
+
+    def test_free_marks_dead(self):
+        m = Memory()
+        h = m.alloc(8, "heap")
+        m.free(h)
+        assert not h.alive
+
+    def test_stats(self):
+        m = Memory()
+        m.alloc(10, "heap")
+        m.alloc(6, "stack")
+        assert m.allocations == 2
+        assert m.bytes_allocated == 16
+
+
+class TestRawAccess:
+    def test_roundtrip_bytes(self):
+        m = Memory()
+        h = m.alloc(8, "heap")
+        m.write_raw(h.base, b"abcdefgh")
+        assert m.read_raw(h.base + 2, 3) == b"cde"
+
+    def test_unmapped_read_faults(self):
+        m = Memory()
+        with pytest.raises(SegmentationFault):
+            m.read_raw(0xDEAD, 4)
+
+    def test_spanning_write_contiguous(self):
+        m = Memory(gap_regions=set())
+        a = m.alloc(4, "stack")
+        b = m.alloc(4, "stack")
+        m.write_raw(a.base, b"12345678")  # spans into b
+        assert bytes(b.data) == b"5678"
+
+    def test_spanning_write_with_gap_faults(self):
+        m = Memory(gap_regions={"stack"})
+        a = m.alloc(4, "stack")
+        m.alloc(4, "stack")
+        with pytest.raises(SegmentationFault):
+            m.write_raw(a.base, b"12345678")
+
+    def test_int_roundtrip_signed(self):
+        m = Memory()
+        h = m.alloc(8, "heap")
+        m.write_int(h.base, -5, 4)
+        assert m.read_int(h.base, 4, True) == -5
+        assert m.read_int(h.base, 4, False) == 0xFFFFFFFB
+
+    def test_short_and_char(self):
+        m = Memory()
+        h = m.alloc(8, "heap")
+        m.write_int(h.base, 0x1234, 2)
+        assert m.read_int(h.base, 2, False) == 0x1234
+        m.write_int(h.base, 0x9C, 1)
+        assert m.read_int(h.base, 1, True) == 0x9C - 256
+
+    def test_float_roundtrip(self):
+        m = Memory()
+        h = m.alloc(16, "heap")
+        m.write_float(h.base, 3.25, 8)
+        assert m.read_float(h.base, 8) == 3.25
+        m.write_float(h.base, 1.5, 4)
+        assert m.read_float(h.base, 4) == 1.5
+
+    def test_little_endian_layout(self):
+        m = Memory()
+        h = m.alloc(4, "heap")
+        m.write_int(h.base, 0x11223344, 4)
+        assert m.read_raw(h.base, 1) == b"\x44"
+
+
+class TestShadowMetadata:
+    def test_pointer_meta_roundtrip(self):
+        m = Memory()
+        h = m.alloc(8, "heap")
+        meta = PtrMeta(b=100, e=200, rtti=3)
+        m.write_ptr(h.base, 0x1000, meta)
+        value, got = m.read_ptr(h.base)
+        assert value == 0x1000
+        assert got.b == 100 and got.e == 200 and got.rtti == 3
+
+    def test_int_write_clears_meta(self):
+        """Figure 10's tag invariant: writing an integer over a stored
+        pointer invalidates the pointer's metadata."""
+        m = Memory()
+        h = m.alloc(8, "heap")
+        m.write_ptr(h.base, 0x1000, PtrMeta(b=1, e=2))
+        m.write_int(h.base, 42, 4)
+        value, got = m.read_ptr(h.base)
+        assert value == 42 and got is None
+
+    def test_partial_overwrite_clears_meta(self):
+        m = Memory()
+        h = m.alloc(8, "heap")
+        m.write_ptr(h.base, 0x1000, PtrMeta(b=1, e=2))
+        m.write_int(h.base + 2, 7, 1)  # clobbers one byte of the word
+        _, got = m.read_ptr(h.base)
+        assert got is None
+
+    def test_tag_query(self):
+        m = Memory()
+        h = m.alloc(8, "heap")
+        m.write_ptr(h.base, 0x1000, PtrMeta(b=1, e=2))
+        assert m.has_ptr_tag(h.base)
+        assert not m.has_ptr_tag(h.base + 4)
+
+    def test_null_meta_write_clears(self):
+        m = Memory()
+        h = m.alloc(8, "heap")
+        m.write_ptr(h.base, 0x1000, PtrMeta(b=1, e=2))
+        m.write_ptr(h.base, 0, None)
+        _, got = m.read_ptr(h.base)
+        assert got is None
+
+    def test_free_clears_meta(self):
+        m = Memory()
+        h = m.alloc(8, "heap")
+        m.write_ptr(h.base, 0x1000, PtrMeta(b=1, e=2))
+        m.free(h)
+        assert not h.meta

@@ -1,0 +1,146 @@
+"""Unit tests for redundant-check elimination."""
+
+from helpers import cure_src
+
+from repro.cil.stmt import CheckKind
+from repro.core import CureOptions, cure
+from repro.interp import run_cured
+
+
+def check_count(cured, kind):
+    return cured.check_counts.get(kind, 0) - sum(
+        1 for _ in ())  # counts are pre-elimination
+
+
+def count_printed_checks(cured, name: str) -> int:
+    return cured.to_c().count(f"__{name}(")
+
+
+class TestElimination:
+    def test_duplicate_null_checks_merged(self):
+        cured = cure_src("""
+        struct s { int a; int b; };
+        int main(void) {
+          struct s v;
+          struct s *p = &v;
+          p->a = 1;
+          p->b = 2;
+          return p->a;
+        }
+        """)
+        assert cured.checks_removed >= 1
+
+    def test_write_to_checked_var_invalidates(self):
+        cured = cure_src("""
+        int main(void) {
+          int x = 1, y = 2;
+          int *p = &x;
+          int a = *p;
+          p = &y;          /* p changes: the next check must stay */
+          int b = *p;
+          return a + b;
+        }
+        """)
+        # Two NULL checks survive: one per distinct p value.
+        assert count_printed_checks(cured, "CHECK_NULL") == 2
+
+    def test_call_invalidates_everything(self):
+        cured = cure_src("""
+        int g;
+        int touch(void) { g = 1; return 0; }
+        int main(void) {
+          int x = 1;
+          int *p = &x;
+          int a = *p;
+          touch();
+          int b = *p;
+          return a + b;
+        }
+        """)
+        assert count_printed_checks(cured, "CHECK_NULL") >= 2
+
+    def test_memory_write_keeps_register_checks(self):
+        cured = cure_src("""
+        struct s { int a; int b; };
+        int main(void) {
+          struct s v;
+          struct s *p = &v;
+          p->a = 1;        /* memory write: p itself is a register */
+          p->b = 2;        /* the second NULL check is redundant */
+          return 0;
+        }
+        """)
+        assert count_printed_checks(cured, "CHECK_NULL") == 1
+
+    def test_seq_bounds_deduplicated(self):
+        cured = cure_src("""
+        int main(void) {
+          int arr[4];
+          int *p = arr;
+          int i = 2;
+          p[i] = 1;
+          return p[i] + p[i];
+        }
+        """)
+        noopt = cure("""
+        int main(void) {
+          int arr[4];
+          int *p = arr;
+          int i = 2;
+          p[i] = 1;
+          return p[i] + p[i];
+        }
+        """, options=CureOptions(optimize_checks=False), name="n")
+        assert count_printed_checks(cured, "CHECK_SEQ_BOUNDS") < \
+            count_printed_checks(noopt, "CHECK_SEQ_BOUNDS")
+
+    def test_disabled_by_option(self):
+        src = """
+        struct s { int a; int b; };
+        int main(void) {
+          struct s v; struct s *p = &v;
+          p->a = 1; p->b = 2;
+          return 0;
+        }
+        """
+        noopt = cure(src, options=CureOptions(optimize_checks=False),
+                     name="noopt")
+        assert noopt.checks_removed == 0
+
+    def test_behaviour_preserved(self):
+        src = """
+        struct node { int v; struct node *next; };
+        int main(void) {
+          struct node a;
+          struct node b;
+          a.v = 1; a.next = &b;
+          b.v = 2; b.next = 0;
+          struct node *p = &a;
+          int total = 0;
+          while (p != (struct node *)0) {
+            total += p->v + p->v;
+            p = p->next;
+          }
+          return total;
+        }
+        """
+        r_opt = run_cured(cure(src, name="a"))
+        r_no = run_cured(cure(
+            src, options=CureOptions(optimize_checks=False), name="b"))
+        assert r_opt.status == r_no.status == 6
+        assert r_opt.cycles <= r_no.cycles
+
+    def test_safety_still_enforced_after_elimination(self):
+        import pytest
+        from repro.runtime.checks import NullDereferenceError
+        cured = cure_src("""
+        struct s { int a; int b; };
+        int main(void) {
+          struct s *p = 0;
+          p->a = 1;        /* only one check left, still fires */
+          p->b = 2;
+          return 0;
+        }
+        """)
+        with pytest.raises(NullDereferenceError):
+            run_cured(cured)

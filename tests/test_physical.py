@@ -1,0 +1,213 @@
+"""Tests for physical type equality and subtyping (paper Section 3.1).
+
+These check the paper's equations literally:
+
+* ``t ≈ t[1]``
+* ``t[n1+n2] ≈ struct { t[n1]; t[n2]; }``
+* ``struct { t1; void; } ≈ t1``
+* struct associativity
+* every type is a physical subtype of ``void``
+* the SEQ cast rule ``t'[n'] ≈ t[n]`` at the least size multiple.
+"""
+
+import pytest
+
+from repro.cil import types as T
+from repro.core.physical import (flatten, matched_pointer_pairs,
+                                 physical_equal, physical_subtype,
+                                 seq_compatible)
+
+
+def S(name, *fields):
+    return T.TComp(T.CompInfo(
+        True, name, [T.FieldInfo(n, t) for n, t in fields]))
+
+
+def U(name, *fields):
+    c = T.CompInfo(False, name)
+    c.set_fields([T.FieldInfo(n, t) for n, t in fields])
+    return T.TComp(c)
+
+
+class TestEquality:
+    def test_reflexive(self):
+        assert physical_equal(T.int_t(), T.int_t())
+
+    def test_scalar_mismatch(self):
+        assert not physical_equal(T.int_t(), T.char_t())
+        assert not physical_equal(T.int_t(), T.double_t())
+
+    def test_t_equals_array_of_one(self):
+        assert physical_equal(T.int_t(), T.array(T.int_t(), 1))
+
+    def test_array_concatenation(self):
+        # t[3+2] = struct { t[3]; t[2]; }
+        lhs = T.array(T.int_t(), 5)
+        rhs = S("cat", ("a", T.array(T.int_t(), 3)),
+                ("b", T.array(T.int_t(), 2)))
+        assert physical_equal(lhs, rhs)
+
+    def test_void_is_empty_struct(self):
+        # struct { t1; void-nothing } = t1 : a struct wrapping a single
+        # field is physically the field itself.
+        assert physical_equal(S("w", ("x", T.int_t())), T.int_t())
+
+    def test_struct_associativity(self):
+        a = S("a", ("x", T.int_t()),
+              ("yz", S("in1", ("y", T.int_t()), ("z", T.int_t()))))
+        b = S("b", ("xy", S("in2", ("x", T.int_t()), ("y", T.int_t()))),
+              ("z", T.int_t()))
+        assert physical_equal(a, b)
+
+    def test_padding_matters(self):
+        # {char; int} has 3 bytes padding; {char; char; char; char; int}
+        # does not pad — physically different.
+        padded = S("p", ("c", T.char_t()), ("i", T.int_t()))
+        packed = S("q", ("a", T.char_t()), ("b", T.char_t()),
+                   ("c", T.char_t()), ("d", T.char_t()),
+                   ("i", T.int_t()))
+        assert not physical_equal(padded, packed)
+
+    def test_same_padding_equal(self):
+        a = S("pa", ("c", T.char_t()), ("i", T.int_t()))
+        b = S("pb", ("c", T.char_t()), ("i", T.int_t()))
+        assert physical_equal(a, b)
+
+    def test_pointer_atoms_by_base(self):
+        assert physical_equal(T.ptr(T.int_t()), T.ptr(T.int_t()))
+        assert not physical_equal(T.ptr(T.int_t()), T.ptr(T.char_t()))
+
+    def test_unions_only_equal_themselves(self):
+        u1 = U("u1", ("i", T.int_t()), ("f", T.float_t()))
+        u2 = U("u2", ("i", T.int_t()), ("f", T.float_t()))
+        assert physical_equal(u1, u1)
+        assert not physical_equal(u1, u2)
+
+    def test_different_sizes_never_equal(self):
+        assert not physical_equal(T.array(T.int_t(), 2),
+                                  T.array(T.int_t(), 3))
+
+    def test_void_equal_void(self):
+        assert physical_equal(T.void_t(), T.void_t())
+
+    def test_multidim_flattening(self):
+        assert physical_equal(T.array(T.array(T.int_t(), 2), 3),
+                              T.array(T.int_t(), 6))
+
+
+class TestSubtyping:
+    def figure_circle(self):
+        fun = T.ptr(T.TFun(T.double_t(), None))
+        figure = S("Figure", ("area", fun))
+        fun2 = T.ptr(T.TFun(T.double_t(), None))
+        circle = S("Circle", ("area", fun2), ("radius", T.int_t()))
+        return figure, circle
+
+    def test_prefix_is_supertype(self):
+        figure, circle = self.figure_circle()
+        assert physical_subtype(circle, figure)
+        assert not physical_subtype(figure, circle)
+
+    def test_everything_below_void(self):
+        figure, circle = self.figure_circle()
+        for t in (T.int_t(), figure, circle, T.ptr(T.int_t())):
+            assert physical_subtype(t, T.void_t())
+
+    def test_void_only_below_void(self):
+        assert physical_subtype(T.void_t(), T.void_t())
+        assert not physical_subtype(T.void_t(), T.int_t())
+
+    def test_reflexive(self):
+        figure, _ = self.figure_circle()
+        assert physical_subtype(figure, figure)
+
+    def test_scalar_prefix(self):
+        two = S("two", ("a", T.int_t()), ("b", T.int_t()))
+        assert physical_subtype(two, T.int_t())
+        assert not physical_subtype(T.int_t(), two)
+
+    def test_wrong_leading_type_not_subtype(self):
+        s = S("s", ("d", T.double_t()), ("i", T.int_t()))
+        assert not physical_subtype(s, T.int_t())
+
+    def test_array_prefix(self):
+        assert physical_subtype(T.array(T.int_t(), 8),
+                                T.array(T.int_t(), 3))
+        assert not physical_subtype(T.array(T.int_t(), 3),
+                                    T.array(T.int_t(), 8))
+
+    def test_subtype_antisymmetry_on_distinct(self):
+        figure, circle = self.figure_circle()
+        assert not (physical_subtype(figure, circle)
+                    and physical_subtype(circle, figure))
+
+
+class TestSeqRule:
+    """The paper: casting struct Circle * SEQ to struct Figure * SEQ is
+    unsound, because (Figure*)cs + 1 re-slices the layout."""
+
+    def test_circle_to_figure_seq_rejected(self):
+        fun = T.ptr(T.TFun(T.double_t(), None))
+        figure = S("FigureS", ("area", fun))
+        circle = S("CircleS", ("area", T.ptr(T.TFun(T.double_t(),
+                                                    None))),
+                   ("radius", T.int_t()))
+        assert physical_subtype(circle, figure)       # upcast ok SAFE
+        assert not seq_compatible(circle, figure)     # but not SEQ
+
+    def test_same_type_seq_ok(self):
+        assert seq_compatible(T.int_t(), T.int_t())
+
+    def test_multidim_rows(self):
+        # int[4]* SEQ -> int* SEQ : int[4][1] = int[4] vs int[4]; lcm
+        # works out: t[1] vs t'[4].
+        assert seq_compatible(T.array(T.int_t(), 4), T.int_t())
+
+    def test_commensurate_structs(self):
+        pair = S("pairS", ("a", T.int_t()), ("b", T.int_t()))
+        assert seq_compatible(pair, T.int_t())
+
+    def test_incommensurate_rejected(self):
+        mixed = S("mixedS", ("a", T.int_t()), ("d", T.double_t()))
+        assert not seq_compatible(mixed, T.int_t())
+
+    def test_void_seq_rejected(self):
+        assert not seq_compatible(T.void_t(), T.int_t())
+
+
+class TestFlattenAndMatching:
+    def test_flatten_scalar(self):
+        atoms = list(flatten(T.int_t()))
+        assert len(atoms) == 1 and atoms[0].kind == "scalar"
+
+    def test_flatten_struct_with_padding(self):
+        s = S("fp", ("c", T.char_t()), ("i", T.int_t()))
+        kinds = [a.kind for a in flatten(s)]
+        assert kinds == ["scalar", "pad", "scalar"]
+
+    def test_flatten_void_empty(self):
+        assert list(flatten(T.void_t())) == []
+
+    def test_matched_pointer_pairs(self):
+        p1 = T.ptr(T.int_t())
+        p2 = T.ptr(T.int_t())
+        s1 = S("m1", ("p", p1), ("x", T.int_t()))
+        s2 = S("m2", ("p", p2))
+        pairs = matched_pointer_pairs(s1, s2)
+        assert pairs == [(p1, p2)]
+
+    def test_matched_pairs_stop_at_mismatch(self):
+        p1 = T.ptr(T.int_t())
+        p2 = T.ptr(T.int_t())
+        s1 = S("m3", ("x", T.double_t()), ("p", p1))
+        s2 = S("m4", ("x", T.int_t()), ("p", p2))
+        assert matched_pointer_pairs(s1, s2) == []
+
+    def test_recursive_struct_flatten_guard(self):
+        # A struct containing a pointer to itself must not loop.
+        c = T.CompInfo(True, "node")
+        tc = T.TComp(c)
+        c.set_fields([T.FieldInfo("next", T.ptr(tc)),
+                      T.FieldInfo("v", T.int_t())])
+        assert physical_equal(tc, tc)
+        assert physical_subtype(tc, T.ptr(tc))

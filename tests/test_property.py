@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Targets:
+
+* physical subtyping is a preorder, ``void`` is its top, and equality
+  is a congruence of the flattening;
+* the memory model round-trips arbitrary values and keeps the shadow
+  metadata invariant (Figure 10's tag discipline);
+* the solver is monotone: adding arithmetic can never turn a WILD
+  pointer SAFE, and solving is deterministic;
+* randomly generated straight-line programs behave identically cured
+  and raw (differential testing of the instrumentation);
+* the preprocessor's conditional evaluator agrees with Python on a
+  safe expression subset.
+"""
+
+import struct
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cil import types as T
+from repro.core import cure
+from repro.core.physical import (flatten, physical_equal,
+                                 physical_subtype)
+from repro.cpp import preprocess
+from repro.frontend import parse_program
+from repro.interp import run_cured, run_raw
+from repro.runtime.memory import Memory, PtrMeta
+
+# ---------------------------------------------------------------------------
+# type strategies
+# ---------------------------------------------------------------------------
+
+scalar_types = st.sampled_from([
+    T.TInt(T.IKind.CHAR), T.TInt(T.IKind.SHORT), T.TInt(T.IKind.INT),
+    T.TInt(T.IKind.UINT), T.TFloat(T.FKind.DOUBLE),
+    T.TFloat(T.FKind.FLOAT),
+])
+
+
+@st.composite
+def c_types(draw, depth=2):
+    if depth == 0:
+        return draw(scalar_types)
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(scalar_types)
+    if kind == 1:
+        return T.TPtr(draw(c_types(depth=depth - 1)))
+    if kind == 2:
+        return T.TArray(draw(c_types(depth=depth - 1)),
+                        draw(st.integers(1, 4)))
+    fields = draw(st.lists(c_types(depth=depth - 1), min_size=1,
+                           max_size=3))
+    comp = T.CompInfo(True, f"h{draw(st.integers(0, 10**9))}",
+                      [T.FieldInfo(f"f{i}", t)
+                       for i, t in enumerate(fields)])
+    return T.TComp(comp)
+
+
+class TestPhysicalProperties:
+    @given(c_types())
+    @settings(max_examples=60, deadline=None)
+    def test_equality_reflexive(self, t):
+        assert physical_equal(t, t)
+
+    @given(c_types())
+    @settings(max_examples=60, deadline=None)
+    def test_subtype_reflexive_and_void_top(self, t):
+        assert physical_subtype(t, t)
+        assert physical_subtype(t, T.TVoid())
+
+    @given(c_types(), c_types())
+    @settings(max_examples=60, deadline=None)
+    def test_equality_symmetric(self, a, b):
+        assert physical_equal(a, b) == physical_equal(b, a)
+
+    @given(c_types(), c_types())
+    @settings(max_examples=60, deadline=None)
+    def test_mutual_subtypes_are_equal(self, a, b):
+        if physical_subtype(a, b) and physical_subtype(b, a):
+            assert physical_equal(a, b)
+
+    @given(c_types(), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_array_of_one_identity(self, t, n):
+        # t[1] = t; and flattening an array concatenates n copies
+        assert physical_equal(t, T.TArray(t, 1))
+        atoms_n = list(flatten(T.TArray(t, n)))
+        atoms_1 = list(flatten(t))
+        assert len(atoms_n) == n * len(atoms_1)
+
+    @given(c_types())
+    @settings(max_examples=40, deadline=None)
+    def test_wrapping_struct_is_equal(self, t):
+        comp = T.CompInfo(True, "w", [T.FieldInfo("only", t)])
+        assert physical_equal(T.TComp(comp), t)
+
+    @given(c_types())
+    @settings(max_examples=40, deadline=None)
+    def test_extension_is_subtype(self, t):
+        ext = T.CompInfo(True, "ext", [
+            T.FieldInfo("head", t), T.FieldInfo("tail", T.int_t())])
+        assert physical_subtype(T.TComp(ext), t)
+
+
+class TestMemoryProperties:
+    @given(st.integers(0, 0xFFFFFFFF), st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=80, deadline=None)
+    def test_int_roundtrip(self, value, size):
+        m = Memory()
+        h = m.alloc(8, "heap")
+        v = value & ((1 << (8 * size)) - 1)
+        m.write_int(h.base, v, size)
+        assert m.read_int(h.base, size, False) == v
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     width=32))
+    @settings(max_examples=60, deadline=None)
+    def test_float_roundtrip(self, value):
+        m = Memory()
+        h = m.alloc(8, "heap")
+        m.write_float(h.base, value, 4)
+        expected = struct.unpack("<f", struct.pack("<f", value))[0]
+        assert m.read_float(h.base, 4) == expected
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_bytes_roundtrip(self, data):
+        m = Memory()
+        h = m.alloc(len(data), "heap")
+        m.write_raw(h.base, data)
+        assert m.read_raw(h.base, len(data)) == data
+
+    @given(st.integers(0, 3), st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=60, deadline=None)
+    def test_tag_invariant(self, word, value):
+        """Figure 10: the tag of a word is set iff the last store there
+        was a valid pointer."""
+        m = Memory()
+        h = m.alloc(16, "heap")
+        addr = h.base + 4 * word
+        m.write_ptr(addr, 0x1000, PtrMeta(b=1, e=2))
+        assert m.has_ptr_tag(addr)
+        m.write_int(addr, value, 4)
+        assert not m.has_ptr_tag(addr)
+
+
+class TestDifferentialExecution:
+    """Random straight-line array programs: cured and raw must agree
+    on all in-bounds behaviour."""
+
+    @given(st.lists(st.tuples(st.integers(0, 7),
+                              st.integers(-100, 100)),
+                    min_size=1, max_size=12),
+           st.integers(1, 5))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_array_writes_agree(self, ops, stride):
+        body = "\n".join(
+            f"  a[{idx}] = a[{idx}] * {stride} + ({val});"
+            for idx, val in ops)
+        src = ("int main(void) {\n  int a[8];\n  int i;\n"
+               "  int *p = a;\n"
+               "  for (i = 0; i < 8; i++) p[i] = i;\n"
+               f"{body}\n"
+               "  int s = 0;\n"
+               "  for (i = 0; i < 8; i++) s += p[i];\n"
+               "  return s & 0xFF;\n}\n")
+        cured = cure(src, name="diff")
+        rc = run_cured(cured)
+        rr = run_raw(parse_program(src, "diff_raw"))
+        assert rc.status == rr.status
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1,
+                    max_size=8))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_arith_expressions_agree(self, values):
+        exprs = " + ".join(f"({v})" for v in values)
+        src = (f"int main(void) {{ int x = {exprs}; "
+               "return x & 0x7F; }")
+        cured = cure(src, name="arith")
+        rc = run_cured(cured)
+        rr = run_raw(parse_program(src, "arith_raw"))
+        assert rc.status == rr.status
+
+
+class TestPreprocessorProperties:
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_if_arithmetic_matches_python(self, a, b):
+        cond = f"({a}) + ({b}) * 2 > ({a}) - ({b})"
+        out = preprocess(f"#if {cond}\nint yes;\n#endif\n")
+        expected = a + b * 2 > a - b
+        assert ("int yes;" in out) == expected
+
+    @given(st.text(alphabet="abcdefgh_123 ", min_size=0,
+                   max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_plain_lines_pass_through(self, text):
+        line = text.replace("\n", " ")
+        out = preprocess(line + "\n")
+        assert line.rstrip() in out or line.strip() == ""
+
+
+class TestSolverProperties:
+    @given(st.integers(2, 6), st.integers(1, 4))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_generated_hierarchies_never_wild(self, n_types, rounds):
+        from repro.workloads import ijpeg_gen
+        src = ijpeg_gen.generate(n_types=n_types, n_objects=4,
+                                 n_rounds=rounds)
+        cured = cure(parse_program(src, "gen"), name="gen")
+        assert cured.kind_percentages()["wild"] == 0.0
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_solver_deterministic(self, salt):
+        src = (f"int main(void) {{ int a[{4 + salt % 4}]; "
+               "int *p = a; p = p + 1; return *p; }")
+        k1 = _kinds(src)
+        k2 = _kinds(src)
+        assert k1 == k2
+
+
+def _kinds(src: str):
+    cured = cure(src, name="det")
+    return tuple(sorted(
+        (n.where, n.kind.name)
+        for n in cured.analysis.decl_nodes))

@@ -1,0 +1,78 @@
+"""Tests for the RTTI hierarchy structure (paper Section 3.2)."""
+
+from repro.cil import types as T
+from repro.core.rtti import RttiHierarchy
+
+
+def S(name, *fields):
+    return T.TComp(T.CompInfo(
+        True, name, [T.FieldInfo(n, t) for n, t in fields]))
+
+
+def build_shapes():
+    figure = S("FigH", ("tag", T.int_t()))
+    circle = S("CirH", ("tag", T.int_t()), ("r", T.int_t()))
+    square = S("SqH", ("tag", T.int_t()), ("side", T.int_t()),
+               ("area", T.int_t()))
+    h = RttiHierarchy()
+    h.build([figure, circle, square, T.int_t()])
+    return h, figure, circle, square
+
+
+class TestHierarchy:
+    def test_void_is_node_zero(self):
+        h = RttiHierarchy()
+        assert h.void_id == 0
+        assert h.rtti_of(T.TVoid()) == 0
+
+    def test_everything_subtype_of_void(self):
+        h, figure, circle, square = build_shapes()
+        for t in (figure, circle, square):
+            assert h.is_subtype(h.rtti_of(t), h.void_id)
+
+    def test_prefix_subtyping(self):
+        h, figure, circle, square = build_shapes()
+        assert h.is_subtype(h.rtti_of(circle), h.rtti_of(figure))
+        assert not h.is_subtype(h.rtti_of(figure), h.rtti_of(circle))
+
+    def test_transitivity(self):
+        h, figure, circle, square = build_shapes()
+        # square <= circle <= figure (by prefix)
+        assert h.is_subtype(h.rtti_of(square), h.rtti_of(circle))
+        assert h.is_subtype(h.rtti_of(square), h.rtti_of(figure))
+
+    def test_reflexive(self):
+        h, figure, *_ = build_shapes()
+        rid = h.rtti_of(figure)
+        assert h.is_subtype(rid, rid)
+
+    def test_siblings_not_related(self):
+        left = S("LeftH", ("tag", T.int_t()), ("l", T.double_t()))
+        right = S("RightH", ("tag", T.int_t()), ("r", T.ptr(T.int_t())))
+        h = RttiHierarchy()
+        h.build([left, right])
+        assert not h.is_subtype(h.rtti_of(left), h.rtti_of(right))
+        assert not h.is_subtype(h.rtti_of(right), h.rtti_of(left))
+
+    def test_physically_equal_types_share_node(self):
+        a = S("EqA", ("x", T.int_t()))
+        b = S("EqB", ("x", T.int_t()))
+        h = RttiHierarchy()
+        h.build([a, b])
+        assert h.rtti_of(a) == h.rtti_of(b)
+
+    def test_has_subtypes(self):
+        h, figure, circle, square = build_shapes()
+        assert h.has_subtypes(figure)     # circle, square below it
+        assert h.has_subtypes(T.TVoid())  # everything below void
+        assert not h.has_subtypes(square)
+
+    def test_late_registration(self):
+        h, figure, *_ = build_shapes()
+        new = S("NewH", ("tag", T.int_t()), ("v", T.float_t()))
+        rid = h.rtti_of(new)  # not registered at build time
+        assert h.is_subtype(rid, h.rtti_of(figure))
+
+    def test_len_counts_nodes(self):
+        h, *_ = build_shapes()
+        assert len(h) >= 4  # void + 3 shapes (int may share/also count)

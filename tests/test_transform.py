@@ -1,0 +1,149 @@
+"""Tests for the instrumentation pass: which checks are inserted where
+(Figures 2 and 11 of the paper)."""
+
+from helpers import cure_src
+
+from repro.cil.stmt import CheckKind
+
+
+def counts(src, **opts):
+    return cure_src(src, **opts).check_counts
+
+
+class TestDerefChecks:
+    def test_safe_deref_gets_null_check(self):
+        c = counts("""
+        int main(void) { int x = 1; int *p = &x; return *p; }
+        """)
+        assert c[CheckKind.NULL] == 1
+        assert CheckKind.SEQ_BOUNDS not in c
+
+    def test_seq_deref_gets_bounds_check(self):
+        c = counts("""
+        int main(void) { int a[4]; int *p = a; return p[2]; }
+        """)
+        assert c[CheckKind.SEQ_BOUNDS] == 1
+
+    def test_wild_deref_gets_wild_checks(self):
+        c = counts("""
+        int main(void) {
+          int x = 1; int *p = &x;
+          char *w = (char *)p;
+          return *w;
+        }
+        """)
+        assert c[CheckKind.WILD_BOUNDS] == 1
+
+    def test_wild_pointer_read_gets_tag_check(self):
+        c = counts("""
+        int main(void) {
+          int *slot[1];
+          int **pp = slot;
+          char *alias = (char *)pp;     /* WILD */
+          int **wpp = (int **)alias;    /* WILD int** */
+          int *inner = *wpp;            /* reads a pointer: tag check */
+          return inner == (int *)0;
+        }
+        """)
+        assert c[CheckKind.WILD_READ_TAG] >= 1
+
+    def test_each_deref_checked_separately(self):
+        c = counts("""
+        int main(void) { int x = 2; int *p = &x; return *p + *p; }
+        """)
+        assert c[CheckKind.NULL] == 2
+
+
+class TestIndexChecks:
+    def test_variable_index_checked(self):
+        c = counts("""
+        int main(void) { int a[4]; int i = 1; a[i] = 2; return a[i]; }
+        """)
+        assert c[CheckKind.INDEX] == 2
+
+    def test_constant_in_range_index_elided(self):
+        # Static check elimination: a constant in-range index needs no
+        # run-time check (CCured's "statically remove checks").
+        c = counts("""
+        int main(void) { int a[4]; a[2] = 5; return a[2]; }
+        """)
+        assert CheckKind.INDEX not in c
+
+    def test_constant_oob_index_kept(self):
+        c = counts("""
+        int main(void) { int a[4]; return a[7]; }
+        """)
+        assert c[CheckKind.INDEX] == 1
+
+
+class TestCastAndCallChecks:
+    def test_rtti_downcast_checked(self, figure_circle_src):
+        c = counts(figure_circle_src)
+        assert c[CheckKind.RTTI_CAST] >= 1
+
+    def test_funptr_call_checked(self, figure_circle_src):
+        c = counts(figure_circle_src)
+        assert c[CheckKind.FUNPTR] == 1
+
+    def test_direct_calls_not_checked(self):
+        c = counts("""
+        int f(void) { return 1; }
+        int main(void) { return f() + f(); }
+        """)
+        assert CheckKind.FUNPTR not in c
+
+    def test_store_stack_ptr_on_heap_writes(self):
+        c = counts("""
+        #include <stdlib.h>
+        int main(void) {
+          int **cell = (int **)malloc(sizeof(int *));
+          int x = 1;
+          int *p = &x;
+          *cell = p;
+          return 0;
+        }
+        """)
+        assert c[CheckKind.STORE_STACK_PTR] >= 1
+
+    def test_scalar_stores_not_stack_checked(self):
+        c = counts("""
+        int g;
+        int main(void) { g = 5; return g; }
+        """)
+        assert CheckKind.STORE_STACK_PTR not in c
+
+    def test_seq_to_safe_conversion(self):
+        c = counts("""
+        int main(void) {
+          int a[4];
+          int *p = a;
+          p = p + 1;
+          int *q = p;   /* q SAFE: conversion check */
+          return *q;
+        }
+        """)
+        assert c[CheckKind.SEQ_TO_SAFE] >= 1
+
+    def test_checks_disabled(self):
+        c = counts("""
+        int main(void) { int a[4]; int i = 2; return a[i]; }
+        """, checks=False)
+        assert not c
+
+
+class TestAnnotatedOutput:
+    def test_kind_annotations_printed(self, figure_circle_src):
+        cured = cure_src(figure_circle_src)
+        out = cured.to_c()
+        assert "__RTTI" in out and "__SAFE" in out
+
+    def test_check_calls_printed(self, figure_circle_src):
+        cured = cure_src(figure_circle_src)
+        out = cured.to_c()
+        assert "__CHECK_RTTI_CAST" in out
+        assert "__rttiOf(struct Circle)" in out
+
+    def test_plain_output_has_no_annotations(self, figure_circle_src):
+        cured = cure_src(figure_circle_src)
+        out = cured.to_c(annotate_kinds=False)
+        assert "__SAFE" not in out

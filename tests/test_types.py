@@ -1,0 +1,168 @@
+"""Unit tests for the CIL type system and the ILP32 layout model."""
+
+import pytest
+
+from repro.cil import types as T
+
+
+class TestScalarSizes:
+    @pytest.mark.parametrize("kind,size", [
+        (T.IKind.CHAR, 1), (T.IKind.UCHAR, 1), (T.IKind.SHORT, 2),
+        (T.IKind.USHORT, 2), (T.IKind.INT, 4), (T.IKind.UINT, 4),
+        (T.IKind.LONG, 4), (T.IKind.ULONG, 4), (T.IKind.LLONG, 8),
+        (T.IKind.ULLONG, 8), (T.IKind.BOOL, 1),
+    ])
+    def test_int_sizes(self, kind, size):
+        assert T.TInt(kind).size() == size
+
+    def test_float_sizes(self):
+        assert T.TFloat(T.FKind.FLOAT).size() == 4
+        assert T.TFloat(T.FKind.DOUBLE).size() == 8
+
+    def test_pointer_is_one_word(self):
+        assert T.ptr(T.int_t()).size() == 4
+        assert T.ptr(T.ptr(T.double_t())).size() == 4
+
+    def test_void_has_no_size(self):
+        with pytest.raises(T.IncompleteTypeError):
+            T.void_t().size()
+
+    def test_signedness(self):
+        assert T.IKind.INT.is_signed
+        assert not T.IKind.UINT.is_signed
+        assert T.IKind.CHAR.is_signed  # char is signed on this target
+
+
+class TestArrays:
+    def test_array_size(self):
+        assert T.array(T.int_t(), 10).size() == 40
+
+    def test_nested_array(self):
+        assert T.array(T.array(T.char_t(), 3), 4).size() == 12
+
+    def test_incomplete_array(self):
+        with pytest.raises(T.IncompleteTypeError):
+            T.array(T.int_t(), None).size()
+
+
+def mk_struct(name, *fields):
+    return T.CompInfo(True, name,
+                      [T.FieldInfo(n, t) for n, t in fields])
+
+
+def mk_union(name, *fields):
+    c = T.CompInfo(False, name)
+    c.set_fields([T.FieldInfo(n, t) for n, t in fields])
+    return c
+
+
+class TestStructLayout:
+    def test_sequential_offsets(self):
+        c = mk_struct("s1", ("a", T.int_t()), ("b", T.int_t()))
+        lay = T.comp_layout(c)
+        assert lay.offsets == {"a": 0, "b": 4}
+        assert lay.size == 8
+
+    def test_alignment_padding(self):
+        c = mk_struct("s2", ("c", T.char_t()), ("i", T.int_t()))
+        lay = T.comp_layout(c)
+        assert lay.offsets == {"c": 0, "i": 4}
+        assert lay.size == 8
+
+    def test_double_alignment_capped_at_word(self):
+        # ILP32 x86: double aligns to 4, like gcc -m32.
+        c = mk_struct("s3", ("c", T.char_t()), ("d", T.double_t()))
+        lay = T.comp_layout(c)
+        assert lay.offsets["d"] == 4
+        assert lay.size == 12
+
+    def test_trailing_padding(self):
+        c = mk_struct("s4", ("i", T.int_t()), ("c", T.char_t()))
+        assert T.comp_layout(c).size == 8
+
+    def test_field_offset_helper(self):
+        c = mk_struct("s5", ("a", T.char_t()), ("b", T.int_t()))
+        assert T.field_offset(c.field("b")) == 4
+
+    def test_union_overlays(self):
+        u = mk_union("u1", ("i", T.int_t()), ("d", T.double_t()))
+        lay = T.comp_layout(u)
+        assert lay.offsets == {"i": 0, "d": 0}
+        assert lay.size == 8
+
+    def test_empty_struct(self):
+        c = mk_struct("s6")
+        assert T.comp_layout(c).size == 0
+
+    def test_incomplete_struct_layout_fails(self):
+        c = T.CompInfo(True, "fwd")
+        with pytest.raises(T.IncompleteTypeError):
+            T.comp_layout(c)
+
+    def test_missing_field_raises(self):
+        c = mk_struct("s7", ("a", T.int_t()))
+        with pytest.raises(KeyError):
+            c.field("nope")
+
+
+class TestSignaturesAndEquality:
+    def test_identical_scalars_equal(self):
+        assert T.TInt(T.IKind.INT) == T.TInt(T.IKind.INT)
+        assert T.TInt(T.IKind.INT) != T.TInt(T.IKind.UINT)
+
+    def test_pointer_structural_equality(self):
+        assert T.ptr(T.int_t()) == T.ptr(T.int_t())
+        assert T.ptr(T.int_t()) != T.ptr(T.char_t())
+
+    def test_distinct_structs_not_equal(self):
+        a = mk_struct("same", ("x", T.int_t()))
+        b = mk_struct("same", ("x", T.int_t()))
+        assert T.TComp(a) != T.TComp(b)  # nominal identity
+
+    def test_typedef_transparent(self):
+        td = T.TNamed("myint", T.int_t())
+        assert td == T.int_t()
+        assert td.size() == 4
+
+    def test_enum_sig_is_int(self):
+        e = T.TEnum(T.EnumInfo("color", [("R", 0)]))
+        assert e == T.int_t()
+
+    def test_function_sig(self):
+        f1 = T.TFun(T.int_t(), [("x", T.int_t())])
+        f2 = T.TFun(T.int_t(), [("y", T.int_t())])
+        f3 = T.TFun(T.int_t(), [("x", T.char_t())])
+        assert f1 == f2  # parameter names do not matter
+        assert f1 != f3
+
+    def test_sig_hashable(self):
+        s = {T.ptr(T.int_t()), T.ptr(T.int_t()), T.int_t()}
+        assert len(s) == 2
+
+
+class TestPredicates:
+    def test_unroll(self):
+        td = T.TNamed("a", T.TNamed("b", T.int_t()))
+        assert isinstance(T.unroll(td), T.TInt)
+
+    def test_is_pointer_through_typedef(self):
+        td = T.TNamed("p", T.ptr(T.int_t()))
+        assert T.is_pointer(td)
+
+    def test_is_arithmetic(self):
+        assert T.is_arithmetic(T.double_t())
+        assert T.is_arithmetic(T.int_t())
+        assert not T.is_arithmetic(T.ptr(T.int_t()))
+
+    def test_is_scalar(self):
+        assert T.is_scalar(T.ptr(T.void_t()))
+        assert not T.is_scalar(T.array(T.int_t(), 2))
+
+    def test_type_of_pointed(self):
+        assert T.type_of_pointed(T.ptr(T.char_t())) == T.char_t()
+        with pytest.raises(TypeError):
+            T.type_of_pointed(T.int_t())
+
+    def test_default_kind_is_safe(self):
+        from repro.core.qualifiers import PointerKind
+        assert T.ptr(T.int_t()).kind is PointerKind.SAFE

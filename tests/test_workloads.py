@@ -1,0 +1,82 @@
+"""Integration tests over the workload suite.
+
+Every workload must: parse, cure without WILD surprises, run
+identically cured and raw on its benign input, and stay within its
+documented kind profile.  (The overhead and exploit assertions live in
+``benchmarks/``; these tests pin the functional behaviour.)
+"""
+
+import pytest
+
+from repro.interp import run_cured, run_raw
+from repro.workloads import (WORKLOADS, all_workloads, by_category,
+                             get)
+
+ALL_NAMES = sorted(WORKLOADS)
+
+
+class TestRegistry:
+    def test_counts(self):
+        assert len(all_workloads()) >= 20
+        assert len(by_category("apache")) == 10
+        assert len(by_category("system")) == 7
+
+    def test_every_workload_has_paper_row(self):
+        for w in all_workloads():
+            assert w.paper_row, w.name
+            assert w.description, w.name
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get("no_such_workload")
+
+    def test_sources_nonempty(self):
+        for w in all_workloads():
+            assert len(w.source()) > 200, w.name
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_workload_cures_and_runs(name):
+    w = get(name)
+    cured = w.cure(scale=1)
+    rc = run_cured(cured, stdin=w.stdin, args=list(w.args) or None)
+    rr = run_raw(w.parse(scale=1), stdin=w.stdin,
+                 args=list(w.args) or None)
+    assert rc.status == rr.status, name
+    assert rc.stdout == rr.stdout, name
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_workload_has_no_wild_pointers(name):
+    """After the paper's techniques (physical subtyping, RTTI, trusted
+    casts where configured), no workload needs WILD pointers."""
+    w = get(name)
+    cured = w.cure(scale=1)
+    assert cured.kind_percentages()["wild"] == 0.0, name
+
+
+def test_scaling_changes_work(teardown=None):
+    w = get("olden_bisort")
+    small = run_cured(w.cure(scale=3))
+    big = run_cured(w.cure(scale=6))
+    assert big.steps > small.steps
+
+
+def test_ijpeg_generator_parametric():
+    from repro.workloads import ijpeg_gen
+    src_small = ijpeg_gen.generate(n_types=4, n_objects=6, n_rounds=1)
+    src_big = ijpeg_gen.generate(n_types=16, n_objects=6, n_rounds=1)
+    assert "struct comp4" in src_small
+    assert "struct comp16" in src_big
+    assert "struct comp16" not in src_small
+
+
+def test_attack_inputs_defined_for_vulnerable_daemons():
+    assert get("ftpd").attack_stdin is not None
+    assert get("sendmail_like").attack_args is not None
+
+
+def test_bind_uses_trusted_casts():
+    assert get("bind_like").trust_bad_casts
+    cured = get("bind_like").cure(scale=1)
+    assert cured.trusted_casts >= 1
