@@ -13,3 +13,17 @@ def pytest_configure(config):
     # deterministic, re-running them only costs wall time
     config.option.benchmark_min_rounds = 1
     config.option.benchmark_warmup = False
+    # The harness caches keep every parse/cure tree alive, so each
+    # generational GC pass walks a strictly growing object graph while
+    # collecting almost nothing; the suite is short-lived, so trade the
+    # sweeps for peak memory.
+    import gc
+    gc.disable()
+
+
+def pytest_sessionfinish(session):
+    # The harness caches (parses, cures, compiled closures) stay alive
+    # until process exit; freeze them so pytest's exit-time GC sweeps
+    # do not spend over a second walking millions of cached objects.
+    import gc
+    gc.freeze()

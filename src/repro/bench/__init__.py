@@ -1,11 +1,17 @@
 """Benchmark harness and paper-table formatting."""
 
-from repro.bench.harness import (BenchRow, ToolRun, count_lines,
+from repro.bench.harness import (BenchRow, ToolRun, cached_cure,
+                                 cached_parse, cached_source,
+                                 clear_program_cache, count_lines,
+                                 pristine_cure, pristine_parse,
                                  run_workload)
 from repro.bench.tables import (aggregate_census, band_check,
                                 census_table, figure8_table,
                                 figure9_table, overhead_table)
 
-__all__ = ["BenchRow", "ToolRun", "count_lines", "run_workload",
-           "aggregate_census", "band_check", "census_table",
-           "figure8_table", "figure9_table", "overhead_table"]
+__all__ = ["BenchRow", "ToolRun", "cached_cure", "cached_parse",
+           "cached_source", "clear_program_cache", "count_lines",
+           "pristine_cure", "pristine_parse",
+           "run_workload", "aggregate_census", "band_check",
+           "census_table", "figure8_table", "figure9_table",
+           "overhead_table"]

@@ -10,19 +10,35 @@ For one workload the harness produces a :class:`BenchRow` containing:
 * cast census, trusted-cast and split statistics for the Section 3/5
   analyses.
 
-Every mode gets a *fresh parse* of the program: curing mutates the IR
+Every mode gets a *fresh tree* of the program: curing mutates the IR
 (check insertion, qualifier solving), so tools never share trees.
-All measurements are deterministic (the cost model is exact), so a
-table regenerates identically on every run.
+Instead of re-parsing and re-curing per tool, the harness keeps a
+module-level cache of pristine parses and cures keyed by
+``(workload, scale)`` resp. ``(workload, scale, CureOptions)`` and
+deep-copies a cached tree on every use — same isolation, a fraction
+of the cost.  All measurements are deterministic (the cost model is
+exact), so a table regenerates identically on every run; the harness
+exploits the same determinism to memoize whole *measurements*: a
+``(workload, scale, options, engine, max_steps, tool)`` run yields the
+same ``(cycles, status, steps, stdout)`` every time, so repeat
+requests across table tests are answered from ``_RESULT_CACHE``
+instead of re-interpreting the program.  Executions themselves run on
+the pristine cached trees — interpretation never mutates the IR (the
+interpreter only stamps idempotent per-``Varinfo``/type caches), so
+no defensive copy is needed for a measurement, and the closure
+engine's per-``Fundec`` compilation is shared across every test.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+import math
+from dataclasses import dataclass, field, fields as _dc_fields
 from typing import Optional
 
 from repro.baselines import PurifyChecker, ValgrindChecker
-from repro.core import CureOptions
+from repro.cil.program import Program
+from repro.core import CureOptions, CuredProgram, cure as _cure
 from repro.interp import ExecResult, run_cured, run_raw
 from repro.workloads import Workload
 
@@ -36,7 +52,12 @@ class ToolRun:
     stdout: str = ""
 
     def ratio(self, base: "ToolRun") -> float:
-        return self.cycles / base.cycles if base.cycles else 0.0
+        """Cycle ratio against ``base``; NaN when the base run did no
+        work (a 0-cycle base means the ratio is undefined, and 0.0
+        would silently read as 'no overhead' in a table)."""
+        if not base.cycles:
+            return math.nan
+        return self.cycles / base.cycles
 
 
 @dataclass
@@ -80,21 +101,125 @@ def count_lines(source: str) -> int:
                if line.strip() and not line.strip().startswith("//"))
 
 
+# -- parse/cure cache --------------------------------------------------------
+#
+# Pristine trees keyed by workload identity; every use hands out a deep
+# copy, so a caller curing (mutating) its tree can never poison the
+# cache or a sibling tool's run.
+
+_SOURCE_CACHE: dict[str, str] = {}
+_PARSE_CACHE: dict[tuple, Program] = {}
+_CURE_CACHE: dict[tuple, CuredProgram] = {}
+#: memoized measurements: key -> (cycles, status, steps, stdout)
+_RESULT_CACHE: dict[tuple, tuple[int, int, int, str]] = {}
+
+
+def _options_key(options: Optional[CureOptions]) -> Optional[tuple]:
+    """A hashable identity for a :class:`CureOptions` (sets become
+    sorted tuples).  ``None`` stays ``None``: the workload's own
+    default options are part of the workload's identity."""
+    if options is None:
+        return None
+    parts = []
+    for fld in _dc_fields(options):
+        v = getattr(options, fld.name)
+        if isinstance(v, (set, frozenset)):
+            v = tuple(sorted(v))
+        parts.append((fld.name, v))
+    return tuple(parts)
+
+
+def cached_source(w: Workload) -> str:
+    """The workload's source text (generators like ijpeg are not free)."""
+    src = _SOURCE_CACHE.get(w.name)
+    if src is None:
+        src = w.source()
+        _SOURCE_CACHE[w.name] = src
+    return src
+
+
+def pristine_parse(w: Workload,
+                   scale: Optional[int] = None) -> Program:
+    """The shared pristine parse — read/interpret only, never cure."""
+    key = (w.name, scale if scale is not None else w.scale)
+    prog = _PARSE_CACHE.get(key)
+    if prog is None:
+        prog = w.parse(scale)
+        _PARSE_CACHE[key] = prog
+    return prog
+
+
+def pristine_cure(w: Workload,
+                  options: Optional[CureOptions] = None,
+                  scale: Optional[int] = None) -> CuredProgram:
+    """The shared pristine cure — read/interpret only, never mutate."""
+    key = (w.name, scale if scale is not None else w.scale,
+           _options_key(options))
+    cured = _CURE_CACHE.get(key)
+    if cured is None:
+        # Cure a copy of the cached parse: ``w.cure()`` would re-parse
+        # from scratch, and parsing dominates the cure pipeline.
+        opts = options if options is not None else CureOptions(
+            trust_bad_casts=w.trust_bad_casts)
+        cured = _cure(copy.deepcopy(pristine_parse(w, scale)),
+                      options=opts, name=w.name)
+        _CURE_CACHE[key] = cured
+    return cured
+
+
+def cached_parse(w: Workload,
+                 scale: Optional[int] = None) -> Program:
+    """A fresh (deep-copied) parse of ``w`` from the pristine cache."""
+    return copy.deepcopy(pristine_parse(w, scale))
+
+
+def cached_cure(w: Workload,
+                options: Optional[CureOptions] = None,
+                scale: Optional[int] = None) -> CuredProgram:
+    """A fresh (deep-copied) cure of ``w`` from the pristine cache."""
+    return copy.deepcopy(pristine_cure(w, options, scale))
+
+
+def clear_program_cache() -> None:
+    """Drop all cached parses/cures (tests poking at tree internals)."""
+    _SOURCE_CACHE.clear()
+    _PARSE_CACHE.clear()
+    _CURE_CACHE.clear()
+    _RESULT_CACHE.clear()
+
+
+def _measure(key: tuple, tool: str, runner) -> ToolRun:
+    """A memoized measurement; ``runner`` executes on a cache miss."""
+    got = _RESULT_CACHE.get(key)
+    if got is None:
+        res: ExecResult = runner()
+        got = (res.cycles, res.status, res.steps, res.stdout)
+        _RESULT_CACHE[key] = got
+    return ToolRun(tool, *got)
+
+
 def run_workload(w: Workload, *,
                  tools: tuple[str, ...] = ("ccured",),
                  options: Optional[CureOptions] = None,
                  scale: Optional[int] = None,
-                 max_steps: int = 50_000_000) -> BenchRow:
+                 max_steps: int = 50_000_000,
+                 engine: str = "closures") -> BenchRow:
     """Run one workload under raw + the requested tools."""
-    src = w.source()
-    raw_res = run_raw(w.parse(scale), args=list(w.args) or None,
-                      stdin=w.stdin, max_steps=max_steps)
-    cured = w.cure(options=options, scale=scale)
+    src = cached_source(w)
+    args = list(w.args) or None
+    base = (w.name, scale if scale is not None else w.scale,
+            engine, max_steps)
+    raw = _measure(
+        base + ("raw",), "raw",
+        lambda: run_raw(pristine_parse(w, scale), args=args,
+                        stdin=w.stdin, max_steps=max_steps,
+                        engine=engine))
+    cured = pristine_cure(w, options=options, scale=scale)
     row = BenchRow(
         name=w.name,
         lines=count_lines(src),
         kind_pct=cured.kind_percentages(),
-        raw=_tool_run("raw", raw_res),
+        raw=raw,
         trusted_casts=cured.trusted_casts,
         census=cured.census.fractions(),
         split_fraction=cured.split_result.split_fraction,
@@ -102,29 +227,28 @@ def run_workload(w: Workload, *,
         pointer_casts=cured.census.pointer_casts,
     )
     if "ccured" in tools:
-        res = run_cured(cured, args=list(w.args) or None,
-                        stdin=w.stdin, max_steps=max_steps)
-        _assert_same_behaviour(w.name, raw_res, res)
-        row.ccured = _tool_run("ccured", res)
+        row.ccured = _measure(
+            base + ("ccured", _options_key(options)), "ccured",
+            lambda: run_cured(cured, args=args, stdin=w.stdin,
+                              max_steps=max_steps, engine=engine))
+        _assert_same_behaviour(w.name, raw, row.ccured)
     if "purify" in tools:
-        res = run_raw(w.parse(scale), args=list(w.args) or None,
-                      stdin=w.stdin, shadow=PurifyChecker(),
-                      max_steps=max_steps)
-        row.purify = _tool_run("purify", res)
+        row.purify = _measure(
+            base + ("purify",), "purify",
+            lambda: run_raw(pristine_parse(w, scale), args=args,
+                            stdin=w.stdin, shadow=PurifyChecker(),
+                            max_steps=max_steps, engine=engine))
     if "valgrind" in tools:
-        res = run_raw(w.parse(scale), args=list(w.args) or None,
-                      stdin=w.stdin, shadow=ValgrindChecker(),
-                      max_steps=max_steps)
-        row.valgrind = _tool_run("valgrind", res)
+        row.valgrind = _measure(
+            base + ("valgrind",), "valgrind",
+            lambda: run_raw(pristine_parse(w, scale), args=args,
+                            stdin=w.stdin, shadow=ValgrindChecker(),
+                            max_steps=max_steps, engine=engine))
     return row
 
 
-def _tool_run(tool: str, res: ExecResult) -> ToolRun:
-    return ToolRun(tool, res.cycles, res.status, res.steps, res.stdout)
-
-
-def _assert_same_behaviour(name: str, raw: ExecResult,
-                           cured: ExecResult) -> None:
+def _assert_same_behaviour(name: str, raw: ToolRun,
+                           cured: ToolRun) -> None:
     """The cure must not change the observable behaviour of a correct
     program — checked on every benchmark run."""
     if raw.status != cured.status or raw.stdout != cured.stdout:

@@ -2,9 +2,18 @@
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Optional, Sequence
 
 from repro.bench.harness import BenchRow
+
+
+def _ratio(value: float, decimals: int = 2) -> str:
+    """Format a cycle ratio; an undefined ratio (NaN base — the base
+    run did no work) renders as ``n/a`` rather than a fake number."""
+    if math.isnan(value):
+        return "n/a"
+    return f"{value:.{decimals}f}"
 
 
 def figure8_table(rows: Sequence[BenchRow]) -> str:
@@ -18,7 +27,7 @@ def figure8_table(rows: Sequence[BenchRow]) -> str:
     for r in rows:
         name = r.name.replace("apache_", "")
         out.append(f"{name:<11} {r.lines:>6}  {r.sf_sq_w_rt():<14} "
-                   f"{r.ccured_ratio:.2f}")
+                   f"{_ratio(r.ccured_ratio)}")
     return "\n".join(out)
 
 
@@ -32,9 +41,9 @@ def figure9_table(rows: Sequence[BenchRow]) -> str:
            "               of code                 Ratio   Ratio",
            "-" * 60]
     for r in rows:
-        vg = f"{r.valgrind_ratio:.1f}" if r.valgrind else "   -"
+        vg = _ratio(r.valgrind_ratio, 1) if r.valgrind else "   -"
         out.append(f"{r.name:<14} {r.lines:>7}  {r.sf_sq_w_rt():<14}"
-                   f" {r.ccured_ratio:.2f}    {vg}")
+                   f" {_ratio(r.ccured_ratio)}    {vg}")
     return "\n".join(out)
 
 
@@ -45,9 +54,12 @@ def overhead_table(rows: Sequence[BenchRow],
            "Name              CCured   Purify   Valgrind",
            "-" * 48]
     for r in rows:
-        pu = f"{r.purify_ratio:6.1f}x" if r.purify else "      -"
-        vg = f"{r.valgrind_ratio:6.1f}x" if r.valgrind else "      -"
-        out.append(f"{r.name:<17} {r.ccured_ratio:5.2f}x  {pu}  {vg}")
+        pu = f"{_ratio(r.purify_ratio, 1):>6}x" if r.purify \
+            else "      -"
+        vg = f"{_ratio(r.valgrind_ratio, 1):>6}x" if r.valgrind \
+            else "      -"
+        out.append(f"{r.name:<17} {_ratio(r.ccured_ratio):>5}x  "
+                   f"{pu}  {vg}")
     return "\n".join(out)
 
 

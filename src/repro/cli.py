@@ -22,7 +22,7 @@ from typing import Optional, Sequence
 
 from repro.core import CureOptions, cure
 from repro.frontend import parse_program
-from repro.interp import run_cured, run_raw
+from repro.interp import ENGINES, run_cured, run_raw
 from repro.runtime.checks import (MemorySafetyError, ProgramAbort,
                                   SegmentationFault)
 
@@ -42,6 +42,12 @@ def _options(args: argparse.Namespace) -> CureOptions:
         all_split=args.all_split,
         optimize_checks=not args.no_optimize,
     )
+
+
+def _add_engine_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--engine", choices=ENGINES, default="closures",
+                   help="execution engine: the closure compiler "
+                        "(default) or the tree-walking oracle")
 
 
 def _add_cure_flags(p: argparse.ArgumentParser) -> None:
@@ -77,12 +83,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         if args.raw:
             prog = parse_program(source, args.file,
                                  include_dirs=args.include or None)
-            result = run_raw(prog, args=args.args, stdin=stdin)
+            result = run_raw(prog, args=args.args, stdin=stdin,
+                             engine=args.engine)
         else:
             cured = cure(source, options=_options(args),
                          name=args.file,
                          include_dirs=args.include or None)
-            result = run_cured(cured, args=args.args, stdin=stdin)
+            result = run_cured(cured, args=args.args, stdin=stdin,
+                               engine=args.engine)
     except MemorySafetyError as exc:
         print(result_stdout_of(exc), end="")
         print(f"[{type(exc).__name__}] {exc}", file=sys.stderr)
@@ -122,7 +130,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
               "(see `python -m repro workloads`)", file=sys.stderr)
         return 2
     tools = tuple(args.tools.split(",")) if args.tools else ("ccured",)
-    row = run_workload(w, tools=tools, scale=args.scale)
+    row = run_workload(w, tools=tools, scale=args.scale,
+                       engine=args.engine)
     print(f"{row.name}: {row.lines} LoC, kinds {row.sf_sq_w_rt()}")
     print(f"  raw      {row.raw.cycles:>12} cycles  1.00x")
     for tool in ("ccured", "purify", "valgrind"):
@@ -159,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pass this process's stdin to the program")
     p_run.add_argument("--stats", action="store_true",
                        help="print steps/cycles to stderr")
+    _add_engine_flag(p_run)
     _add_cure_flags(p_run)
     p_run.set_defaults(fn=cmd_run)
 
@@ -172,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--tools", default="ccured,valgrind",
                          help="comma list: ccured,purify,valgrind")
     p_bench.add_argument("--scale", type=int, default=None)
+    _add_engine_flag(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
     return parser
 

@@ -1,6 +1,12 @@
-"""The CIL interpreter: cured and raw execution modes."""
+"""The CIL interpreter: cured and raw execution modes.
 
-from repro.interp.interp import (ExecResult, Frame, Interpreter,
+Two engines share the abstract machine: the closure compiler
+(:mod:`repro.interp.compile`, default) and the tree walker (the
+differential-testing oracle).  Select with ``engine="closures"|"tree"``.
+"""
+
+from repro.interp.interp import (ENGINES, ExecResult, Frame, Interpreter,
                                  run_cured, run_raw)
 
-__all__ = ["ExecResult", "Frame", "Interpreter", "run_cured", "run_raw"]
+__all__ = ["ENGINES", "ExecResult", "Frame", "Interpreter", "run_cured",
+           "run_raw"]

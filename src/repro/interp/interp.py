@@ -93,6 +93,12 @@ def _is_register_type(t: T.CType) -> bool:
     return T.is_scalar(T.unroll(t))
 
 
+#: execution engines: "closures" compiles each function body to nested
+#: Python closures once (fast, the default); "tree" walks the CIL tree
+#: per step (the differential-testing oracle).
+ENGINES = ("closures", "tree")
+
+
 class Interpreter:
     """One program execution."""
 
@@ -103,7 +109,19 @@ class Interpreter:
                  shadow: Optional[object] = None,
                  max_steps: int = 50_000_000,
                  stdin: str = "",
-                 cost: Optional[CostModel] = None) -> None:
+                 cost: Optional[CostModel] = None,
+                 engine: str = "closures",
+                 stdout_limit: int = 4_000_000) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r} "
+                             f"(expected one of {ENGINES})")
+        self.engine = engine
+        self._use_closures = engine == "closures"
+        if self._use_closures:
+            # imported lazily: compile.py imports this module
+            from repro.interp.compile import compiled_body
+            self._compiled_body = compiled_body
+        self.stdout_limit = stdout_limit
         self.prog = prog
         self.cured_prog = cured
         self.cured = cured is not None
@@ -125,11 +143,15 @@ class Interpreter:
         self.max_steps = max_steps
         self.steps = 0
         self._stdout: list[str] = []
+        self._stdout_len = 0
         self._stdin = stdin
         self._stdin_pos = 0
         self.rand_state = 1
         self._frames: list[Frame] = []
         self._frame_counter = 0
+        #: per-Fundec call plans (body runner + formal/local binding
+        #: recipe), keyed by id(fd); fds stay alive via self.functions
+        self._call_plans: dict[int, tuple] = {}
         self._str_homes: dict[str, Home] = {}
         # functions and their code addresses
         self.functions: dict[str, S.Fundec] = dict(prog.functions)
@@ -229,7 +251,8 @@ class Interpreter:
 
     def write_stdout(self, text: str) -> None:
         self._stdout.append(text)
-        if sum(len(s) for s in self._stdout) > 4_000_000:
+        self._stdout_len += len(text)
+        if self._stdout_len > self.stdout_limit:
             raise InterpreterLimitError("stdout too large")
 
     def read_stdin_char(self) -> int:
@@ -391,17 +414,38 @@ class Interpreter:
     def _call_fundec(self, fd: S.Fundec, args: list[object]) -> object:
         if len(self._frames) >= self.MAX_CALL_DEPTH:
             raise InterpreterLimitError("call depth exceeded")
+        plan = self._call_plans.get(id(fd))
+        if plan is None:
+            plan = self._build_call_plan(fd)
+            self._call_plans[id(fd)] = plan
+        body, formals, reg_locals, home_locals = plan
         self._frame_counter += 1
         frame = Frame(fd, self._frame_counter)
         self._frames.append(frame)
+        regs = frame.regs
+        homes = frame.homes
+        alloc = self.mem.alloc
+        fid = frame.frame_id
         try:
-            for i, v in enumerate(fd.formals):
-                value = args[i] if i < len(args) else 0
-                self._bind_var(frame, v, value)
-            for v in fd.locals:
-                self._bind_var(frame, v, None)
+            nargs = len(args)
+            for i, (vid, is_reg, size, label, t) in enumerate(formals):
+                value = args[i] if i < nargs else 0
+                if is_reg:
+                    regs[vid] = value
+                else:
+                    home = alloc(size, "stack", label)
+                    home.frame_id = fid
+                    homes[vid] = home
+                    self._write_mem(home.base, t,
+                                    self._coerce_store(value, t))
+            for vid, zero in reg_locals:
+                regs[vid] = zero
+            for vid, size, label in home_locals:
+                home = alloc(size, "stack", label)
+                home.frame_id = fid
+                homes[vid] = home
             try:
-                self._exec_block(fd.body, frame)
+                body(self, frame)
             except _Return as r:
                 return r.value
             return 0
@@ -410,20 +454,38 @@ class Interpreter:
             for home in popped.homes.values():
                 home.alive = False
 
-    def _bind_var(self, frame: Frame, v: E.Varinfo,
-                  value: Optional[object]) -> None:
-        if _is_register_type(v.type) and not v.address_taken:
-            frame.regs[v.vid] = value if value is not None else \
-                self._zero_of(v.type)
+    def _build_call_plan(self, fd: S.Fundec) -> tuple:
+        """The per-function call recipe: a body runner plus the
+        register/home decision, zero value, home size and label of
+        every formal and local — all static per variable for this
+        execution (``address_taken`` only changes during curing, which
+        happens before any Interpreter exists).  Register locals never
+        allocate, so splitting them out preserves the stack layout."""
+        if self._use_closures:
+            # compiled once per (tree, mode); cached weakly
+            body = self._compiled_body(fd, self.cured)
         else:
-            size = self._sizeof(v.type)
-            home = self.mem.alloc(size, "stack",
-                                  f"{frame.fundec.name}:{v.name}")
-            home.frame_id = frame.frame_id
-            frame.homes[v.vid] = home
-            if value is not None:
-                self._write_mem(home.base, v.type,
-                                self._coerce_store(value, v.type))
+            blk = fd.body
+
+            def body(ip: "Interpreter", frame: Frame) -> None:
+                ip._exec_block(blk, frame)
+        formals = []
+        for v in fd.formals:
+            if _is_register_type(v.type) and not v.address_taken:
+                formals.append((v.vid, True, 0, "", v.type))
+            else:
+                formals.append((v.vid, False, self._sizeof(v.type),
+                                f"{fd.name}:{v.name}", v.type))
+        reg_locals = []
+        home_locals = []
+        for v in fd.locals:
+            if _is_register_type(v.type) and not v.address_taken:
+                reg_locals.append((v.vid, self._zero_of(v.type)))
+            else:
+                home_locals.append((v.vid, self._sizeof(v.type),
+                                    f"{fd.name}:{v.name}"))
+        return (body, tuple(formals), tuple(reg_locals),
+                tuple(home_locals))
 
     def _zero_of(self, t: T.CType) -> object:
         u = T.unroll(t)
@@ -1345,10 +1407,13 @@ _CMP_OPS = {
 def run_cured(cured: CuredProgram,
               args: Optional[Sequence[str]] = None,
               stdin: str = "",
-              max_steps: int = 50_000_000) -> ExecResult:
+              max_steps: int = 50_000_000,
+              engine: str = "closures",
+              stdout_limit: int = 4_000_000) -> ExecResult:
     """Execute a cured program with all run-time checks active."""
     ip = Interpreter(cured.prog, cured=cured, stdin=stdin,
-                     max_steps=max_steps)
+                     max_steps=max_steps, engine=engine,
+                     stdout_limit=stdout_limit)
     return ip.run(args)
 
 
@@ -1356,11 +1421,14 @@ def run_raw(prog: Program,
             args: Optional[Sequence[str]] = None,
             stdin: str = "",
             shadow: Optional[object] = None,
-            max_steps: int = 50_000_000) -> ExecResult:
+            max_steps: int = 50_000_000,
+            engine: str = "closures",
+            stdout_limit: int = 4_000_000) -> ExecResult:
     """Execute the uninstrumented program (hardware semantics),
     optionally under a shadow-memory checker (the baselines)."""
     ip = Interpreter(prog, cured=None, shadow=shadow, stdin=stdin,
-                     max_steps=max_steps)
+                     max_steps=max_steps, engine=engine,
+                     stdout_limit=stdout_limit)
     if shadow is not None:
         shadow.attach(ip)
     return ip.run(args)

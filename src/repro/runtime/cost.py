@@ -82,6 +82,12 @@ VALGRIND_PER_BYTE = 6
 VALGRIND_ALLOC_OVERHEAD = 250
 
 
+def mem_words(nbytes: int) -> int:
+    """Words charged for an ``nbytes`` memory access (fast-path helper:
+    the closure engine folds this into each compiled load/store)."""
+    return ((nbytes + 3) >> 2) or 1
+
+
 class CostModel:
     """Accumulates cycles and per-event counts during interpretation.
 
@@ -113,7 +119,7 @@ class CostModel:
         self.instrs += 1
 
     def charge_mem(self, nbytes: int) -> None:
-        self.cycles += COST_MEM_WORD * ((nbytes + 3) >> 2 or 1)
+        self.cycles += COST_MEM_WORD * mem_words(nbytes)
         self.mems += 1
 
     def charge_check(self, kind: CheckKind) -> None:

@@ -146,7 +146,7 @@ class Memory:
         if i < 0:
             return None
         h = self._by_base[i]
-        return h if h.contains(addr) else None
+        return h if addr < h.end else None
 
     # -- raw byte access (hardware semantics) --------------------------------
 
@@ -191,11 +191,33 @@ class Memory:
     # -- typed scalar access --------------------------------------------------
 
     def read_int(self, addr: int, size: int, signed: bool) -> int:
+        # Fast path: the access lies within one home (the overwhelmingly
+        # common case); identical semantics to read_raw, minus a bisect
+        # and a bytearray round-trip.
+        i = bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            h = self._by_base[i]
+            off = addr - h.base
+            if 0 <= off and off + size <= h.size:
+                return int.from_bytes(h.data[off:off + size], "little",
+                                      signed=signed)
         raw = self.read_raw(addr, size)
         return int.from_bytes(raw, "little", signed=signed)
 
     def write_int(self, addr: int, value: int, size: int) -> None:
         value &= (1 << (8 * size)) - 1
+        i = bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            h = self._by_base[i]
+            off = addr - h.base
+            if 0 <= off and off + size <= h.size:
+                h.data[off:off + size] = value.to_bytes(size, "little")
+                if h.meta:
+                    lo = (off // _WORD) * _WORD
+                    hi = off + size
+                    for moff in [m for m in h.meta if lo <= m < hi]:
+                        del h.meta[moff]
+                return
         self.write_raw(addr, value.to_bytes(size, "little"))
 
     def read_float(self, addr: int, size: int) -> float:
@@ -214,7 +236,23 @@ class Memory:
 
     def write_ptr(self, addr: int, value: int,
                   meta: Optional[PtrMeta]) -> None:
-        self.write_raw(addr, (value & _U32).to_bytes(4, "little"))
+        data = (value & _U32).to_bytes(4, "little")
+        i = bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            h = self._by_base[i]
+            off = addr - h.base
+            if 0 <= off and off + 4 <= h.size:
+                h.data[off:off + 4] = data
+                if h.meta:
+                    # same clobber window write_raw would apply
+                    lo = (off // _WORD) * _WORD
+                    hi = off + 4
+                    for moff in [m for m in h.meta if lo <= m < hi]:
+                        del h.meta[moff]
+                if meta is not None:
+                    h.meta[off] = meta
+                return
+        self.write_raw(addr, data)
         h = self.home_of(addr)
         if h is not None:
             off = addr - h.base
@@ -224,6 +262,13 @@ class Memory:
                 h.meta.pop(off, None)
 
     def read_ptr(self, addr: int) -> tuple[int, Optional[PtrMeta]]:
+        i = bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            h = self._by_base[i]
+            off = addr - h.base
+            if 0 <= off and off + 4 <= h.size:
+                return (int.from_bytes(h.data[off:off + 4], "little"),
+                        h.meta.get(off))
         value = int.from_bytes(self.read_raw(addr, 4), "little")
         h = self.home_of(addr)
         meta = h.meta.get(addr - h.base) if h is not None else None

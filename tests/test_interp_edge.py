@@ -232,14 +232,18 @@ class TestDefensiveMachinery:
         assert run_cured(c).status == 1  # fresh memory each run
 
     def test_stdout_limit(self):
+        # The cap is a constructor knob, so a tiny limit exercises the
+        # defense without interpreting 100k printf calls.
         c = cure_src(r'''
         #include <stdio.h>
         int main(void) {
           int i;
-          for (i = 0; i < 100000; i++)
+          for (i = 0; i < 2000; i++)
             printf("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx\n");
           return 0;
         }
         ''')
         with pytest.raises(InterpreterLimitError):
-            run_cured(c, max_steps=5_000_000)
+            run_cured(c, max_steps=5_000_000, stdout_limit=50_000)
+        # the default cap is far above this program's output
+        assert run_cured(c, max_steps=5_000_000).status == 0
