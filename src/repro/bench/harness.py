@@ -32,14 +32,18 @@ engine's per-``Fundec`` compilation is shared across every test.
 from __future__ import annotations
 
 import copy
+import difflib
 import math
 from dataclasses import dataclass, field, fields as _dc_fields
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.baselines import PurifyChecker, ValgrindChecker
 from repro.cil.program import Program
 from repro.core import CureOptions, CuredProgram, cure as _cure
+from repro.cpp import PreprocessError
 from repro.interp import ExecResult, run_cured, run_raw
+from repro.runtime.checks import (CheckFailure, InterpreterLimitError,
+                                  MemorySafetyError)
 from repro.workloads import Workload
 
 
@@ -250,8 +254,110 @@ def run_workload(w: Workload, *,
 def _assert_same_behaviour(name: str, raw: ToolRun,
                            cured: ToolRun) -> None:
     """The cure must not change the observable behaviour of a correct
-    program — checked on every benchmark run."""
-    if raw.status != cured.status or raw.stdout != cured.stdout:
-        raise AssertionError(
-            f"{name}: cured behaviour diverged from raw "
-            f"(status {raw.status} vs {cured.status})")
+    program — checked on every benchmark run.  On a mismatch the
+    error carries a stdout diff plus the cycle/step deltas, so a
+    diverging workload is diagnosable from the failure alone."""
+    if raw.status == cured.status and raw.stdout == cured.stdout:
+        return
+    lines = [f"{name}: cured behaviour diverged from raw "
+             f"(status {raw.status} vs {cured.status})",
+             f"  cycles: raw {raw.cycles} vs cured {cured.cycles} "
+             f"(delta {cured.cycles - raw.cycles:+d})",
+             f"  steps:  raw {raw.steps} vs cured {cured.steps} "
+             f"(delta {cured.steps - raw.steps:+d})"]
+    if raw.stdout != cured.stdout:
+        diff = list(difflib.unified_diff(
+            raw.stdout.splitlines(keepends=True),
+            cured.stdout.splitlines(keepends=True),
+            fromfile=f"{name}.raw.stdout",
+            tofile=f"{name}.cured.stdout"))
+        shown = diff[:40]
+        lines.append("  stdout diff:")
+        lines.extend("    " + d.rstrip("\n") for d in shown)
+        if len(diff) > len(shown):
+            lines.append(f"    ... {len(diff) - len(shown)} more "
+                         "diff lines")
+    raise AssertionError("\n".join(lines))
+
+
+# -- failure-contained suite runs -------------------------------------------
+
+
+@dataclass
+class FailureRow:
+    """A workload that failed somewhere in the bench pipeline."""
+
+    name: str
+    phase: str        # parse | cure | run | compare
+    error: str        # exception class name
+    detail: str       # str(exception), first line
+    attempts: int = 1
+    failure: Optional[dict] = None  # CheckFailure record, if any
+
+
+@dataclass
+class SuiteResult:
+    """Outcome of a failure-contained benchmark sweep."""
+
+    rows: list[BenchRow] = field(default_factory=list)
+    failures: list[FailureRow] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _is_transient(exc: BaseException) -> bool:
+    """Errors worth one retry: machine pressure, not program facts."""
+    if isinstance(exc, (MemoryError, OSError)):
+        return True
+    return (isinstance(exc, InterpreterLimitError)
+            and "wall-clock" in str(exc))
+
+
+def _failure_phase(exc: BaseException) -> str:
+    if isinstance(exc, PreprocessError):
+        return "parse"
+    if isinstance(exc, AssertionError):
+        return "compare"
+    return "run"
+
+
+def run_suite(workloads: Iterable[Workload], *,
+              tools: tuple[str, ...] = ("ccured",),
+              options: Optional[CureOptions] = None,
+              scale: Optional[int] = None,
+              max_steps: int = 50_000_000,
+              engine: str = "closures",
+              retries: int = 1) -> SuiteResult:
+    """Run a set of workloads, containing per-workload failures.
+
+    A crashing, hanging (step/deadline-limited) or diverging workload
+    becomes a :class:`FailureRow` instead of aborting the whole sweep;
+    transient-looking errors get one bounded retry.  Only
+    ``KeyboardInterrupt`` (and other non-``Exception`` exits) still
+    propagates."""
+    result = SuiteResult()
+    for w in workloads:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result.rows.append(run_workload(
+                    w, tools=tools, options=options, scale=scale,
+                    max_steps=max_steps, engine=engine))
+                break
+            except Exception as exc:
+                if _is_transient(exc) and attempts <= retries:
+                    continue
+                detail = str(exc).splitlines()[0] if str(exc) else ""
+                failure = None
+                if isinstance(exc, MemorySafetyError):
+                    failure = CheckFailure.from_exception(
+                        exc).to_json()
+                result.failures.append(FailureRow(
+                    name=w.name, phase=_failure_phase(exc),
+                    error=type(exc).__name__, detail=detail,
+                    attempts=attempts, failure=failure))
+                break
+    return result

@@ -110,6 +110,9 @@ class Check(Instr):
         self.args = list(args)
         self.size = size
         self.rtti = rtti
+        #: statement id assigned by the curer after check optimization;
+        #: reported in CheckFailure records so a failure names its site
+        self.site: Optional[int] = None
 
     def __repr__(self) -> str:
         a = ", ".join(repr(x) for x in self.args)

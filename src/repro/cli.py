@@ -8,6 +8,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro run --raw prog.c       # uncured (hardware) run
     python -m repro bench NAME             # measure one workload
     python -m repro workloads              # list the benchmark suite
+    python -m repro faults list            # list mutation classes
+    python -m repro faults run --seed 1 --campaign smoke
+                                           # fault-injection campaign
 
 The exit status of ``run`` is the program's exit status; memory-safety
 failures exit with status 99 after printing the check that fired,
@@ -142,6 +145,38 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import (CAMPAIGNS, MUTATORS, report_to_json,
+                              report_to_markdown, run_campaign)
+    if args.faults_command == "list":
+        for name, builder in MUTATORS.items():
+            import random
+            spec = builder(random.Random(f"0:doc:{name}"))
+            print(f"{name:<20} -> {spec.expected.__name__}")
+            print(f"{'':20}    {spec.description}")
+        return 0
+    # faults run
+    workloads = (args.workloads.split(",") if args.workloads
+                 else None)
+    classes = args.classes.split(",") if args.classes else None
+    try:
+        report = run_campaign(
+            args.seed, args.campaign, workloads=workloads,
+            classes=classes, scale=args.scale,
+            progress=(None if args.quiet
+                      else lambda line: print(line,
+                                              file=sys.stderr)))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            f.write(report_to_json(report))
+        print(f"report written to {args.json}", file=sys.stderr)
+    print(report_to_markdown(report), end="")
+    return 0 if report.ok else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -184,6 +219,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--scale", type=int, default=None)
     _add_engine_flag(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_faults = sub.add_parser(
+        "faults", help="seeded fault-injection campaigns")
+    fsub = p_faults.add_subparsers(dest="faults_command",
+                                   required=True)
+    p_flist = fsub.add_parser("list",
+                              help="list the mutation classes")
+    p_flist.set_defaults(fn=cmd_faults)
+    p_frun = fsub.add_parser(
+        "run", help="inject faults and assert the cured runs trap")
+    p_frun.add_argument("--seed", type=int, default=1337,
+                        help="campaign seed (same seed, same report)")
+    p_frun.add_argument("--campaign", default="smoke",
+                        choices=("smoke", "full"),
+                        help="smoke: 4 workloads; full: all 27")
+    p_frun.add_argument("--workloads", default=None,
+                        help="comma list overriding the campaign's "
+                             "workload set")
+    p_frun.add_argument("--classes", default=None,
+                        help="comma list of mutation classes "
+                             "(default: all)")
+    p_frun.add_argument("--json", default=None, metavar="PATH",
+                        help="write the JSON report here")
+    p_frun.add_argument("--scale", type=int, default=None)
+    p_frun.add_argument("--quiet", action="store_true",
+                        help="suppress per-variant progress lines")
+    p_frun.set_defaults(fn=cmd_faults)
     return parser
 
 

@@ -122,4 +122,23 @@ def cure(source: Union[str, Program],
     if opts.checks and opts.optimize_checks:
         from repro.core.optimize import eliminate_redundant_checks
         cured.checks_removed = eliminate_redundant_checks(prog)
+    _number_check_sites(prog)
     return cured
+
+
+def _number_check_sites(prog: Program) -> None:
+    """Assign each surviving ``Check`` a stable statement id, in
+    program order.  Failure records carry the id, so the same source
+    always reports the same site — across runs and across engines."""
+    from repro.cil.visitor import Visitor, walk_program
+
+    class _Numberer(Visitor):
+        def __init__(self) -> None:
+            self.n = 0
+
+        def visit_instr(self, i: S.Instr) -> None:
+            if isinstance(i, S.Check):
+                self.n += 1
+                i.site = self.n
+
+    walk_program(prog, _Numberer())

@@ -26,6 +26,8 @@ import os
 import re
 from typing import Mapping, Optional, Sequence
 
+from repro.runtime.checks import MemorySafetyError
+
 _PKG_INCLUDE = os.path.join(os.path.dirname(__file__), "include")
 
 _IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
@@ -298,7 +300,12 @@ class Preprocessor:
                 emitted = self._directive(
                     name, rest, conds, active, current_dir, filename,
                     lineno)
-            except PreprocessError:
+            except (PreprocessError, KeyboardInterrupt):
+                raise
+            except MemorySafetyError:
+                # Safety verdicts are never preprocessing failures:
+                # rewrapping one would hide a check result from the
+                # campaign/bench machinery above us.
                 raise
             except Exception as exc:  # pragma: no cover - defensive
                 raise PreprocessError(str(exc), filename, lineno) from exc

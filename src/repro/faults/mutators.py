@@ -1,0 +1,385 @@
+"""Seeded fault mutators: build an "attack variant" of a workload.
+
+Each mutation class plants one specific memory-safety bug — the kind a
+real attacker or a real programming error produces — as a small C
+fragment whose statements are grafted at the top of the workload's
+``main``.  The fragment executes before any workload code, so the
+cured run must trap at the injected site with the class's expected
+:class:`~repro.runtime.checks.MemorySafetyError` subclass, while the
+raw run exhibits hardware semantics (silent corruption, a segfault, or
+divergence into the workload).
+
+Mutators are seeded: the fragment's shape parameters (array lengths,
+offsets, read-vs-write) come from a :class:`random.Random` keyed by
+``(seed, workload, class)``, so the same seed always produces the same
+variant, and different workloads get different variants.
+
+All injected names carry the ``__fi_`` prefix, which no workload uses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cil import expr as E
+from repro.cil import stmt as S
+from repro.cil.program import (GFun, GVarDecl, Program)
+from repro.cil.visitor import Visitor, walk_stmt
+from repro.runtime import checks as C
+
+#: unmapped scratch window for dangling-pointer variants: above the
+#: code region (which tops out far below this for any realistic
+#: program) and below the rodata region at 0x100000 — no run ever
+#: maps these addresses.
+_DANGLING_LO = 0x40000
+_DANGLING_SPAN = 0x80000
+
+
+@dataclass
+class FaultSpec:
+    """One concrete injected fault, ready to graft."""
+
+    mclass: str                     # mutation class name
+    expected: type                  # MemorySafetyError subclass
+    source: str                     # standalone C fragment with main()
+    description: str                # what the bug is, for reports
+    detect_uninit: bool = False     # cured runs need uninit poisoning
+    params: dict = field(default_factory=dict)  # seeded shape choices
+
+
+# ---------------------------------------------------------------------------
+# Mutation classes
+# ---------------------------------------------------------------------------
+
+def _null_deref(rng: random.Random) -> FaultSpec:
+    write = rng.random() < 0.5
+    body = ("*__fi_p = 1;" if write
+            else "int __fi_x = *__fi_p; __fi_sink = __fi_x;")
+    return FaultSpec(
+        mclass="null-deref",
+        expected=C.NullDereferenceError,
+        source=(
+            "int __fi_sink;\n"
+            "int main(void) {\n"
+            "    int *__fi_p = (int *)0;\n"
+            f"    {body}\n"
+            "    return 0;\n"
+            "}\n"),
+        description="dereference of a null SAFE pointer "
+                    f"({'write' if write else 'read'})",
+        params={"write": write})
+
+
+def _bounds_off_by_one(rng: random.Random) -> FaultSpec:
+    n = rng.randrange(2, 9)
+    write = rng.random() < 0.5
+    access = (f"__fi_q[{n}] = 1;" if write
+              else f"__fi_sink = __fi_q[{n}];")
+    return FaultSpec(
+        mclass="bounds-off-by-one",
+        expected=C.BoundsError,
+        source=(
+            "int __fi_sink;\n"
+            "int main(void) {\n"
+            f"    int __fi_a[{n}];\n"
+            "    int __fi_i;\n"
+            f"    for (__fi_i = 0; __fi_i < {n}; __fi_i++)\n"
+            "        __fi_a[__fi_i] = __fi_i;\n"
+            "    int *__fi_q = __fi_a;\n"
+            f"    {access}\n"
+            "    return 0;\n"
+            "}\n"),
+        description=f"off-by-one {'write' if write else 'read'} at "
+                    f"index {n} of a {n}-element array",
+        params={"n": n, "write": write})
+
+
+def _nul_termination_removed(rng: random.Random) -> FaultSpec:
+    n = rng.randrange(4, 17)
+    return FaultSpec(
+        mclass="nul-removal",
+        expected=C.BoundsError,
+        source=(
+            "extern int strlen(char *s);\n"
+            "int __fi_sink;\n"
+            "int main(void) {\n"
+            f"    char __fi_b[{n}];\n"
+            "    int __fi_i;\n"
+            f"    for (__fi_i = 0; __fi_i < {n}; __fi_i++)\n"
+            "        __fi_b[__fi_i] = 'A';\n"
+            "    char *__fi_s = __fi_b;\n"
+            "    __fi_sink = strlen(__fi_s);\n"
+            "    return 0;\n"
+            "}\n"),
+        description=f"strlen of a {n}-byte buffer with its NUL "
+                    "terminator overwritten (__verify_nul)",
+        params={"n": n})
+
+
+def _wild_tag_corruption(rng: random.Random) -> FaultSpec:
+    stomp = rng.randrange(1, 1 << 16)
+    return FaultSpec(
+        mclass="wild-tag",
+        expected=C.WildTagError,
+        source=(
+            "int __fi_sink;\n"
+            "int main(void) {\n"
+            "    int __fi_word;\n"
+            "    int *__fi_w = &__fi_word;\n"
+            "    int **__fi_pp = &__fi_w;\n"
+            "    int *__fi_alias = (int *)__fi_pp;\n"
+            f"    *__fi_alias = {stomp};\n"
+            "    __fi_sink = **__fi_pp;\n"
+            "    return 0;\n"
+            "}\n"),
+        description="integer store through a bad-cast alias stomps a "
+                    "pointer word in a tagged (WILD) area, then the "
+                    "pointer is read back",
+        params={"stomp": stomp})
+
+
+def _use_after_return(rng: random.Random) -> FaultSpec:
+    v = rng.randrange(1, 100)
+    return FaultSpec(
+        mclass="use-after-return",
+        expected=C.StackEscapeError,
+        source=(
+            "int __fi_sink;\n"
+            "int *__fi_leak(void) {\n"
+            f"    int __fi_local = {v};\n"
+            "    return &__fi_local;\n"
+            "}\n"
+            "int main(void) {\n"
+            "    int *__fi_p = __fi_leak();\n"
+            "    __fi_sink = *__fi_p;\n"
+            "    return 0;\n"
+            "}\n"),
+        description="dereference of a pointer into a returned "
+                    "(dead) stack frame",
+        params={"v": v})
+
+
+def _dangling_pointer(rng: random.Random) -> FaultSpec:
+    addr = _DANGLING_LO + rng.randrange(_DANGLING_SPAN // 64) * 64
+    use_memset = rng.random() < 0.5
+    if use_memset:
+        lines = (
+            "extern void *memset(void *s, int c, int n);\n"
+            "int main(void) {\n"
+            f"    int *__fi_d = (int *)0x{addr:x};\n"
+            "    memset(__fi_d, 0, 4);\n"
+            "    return 0;\n"
+            "}\n")
+        what = "memset"
+    else:
+        lines = (
+            "extern int strlen(char *s);\n"
+            "int __fi_sink;\n"
+            "int main(void) {\n"
+            f"    char *__fi_d = (char *)0x{addr:x};\n"
+            "    __fi_sink = strlen(__fi_d);\n"
+            "    return 0;\n"
+            "}\n")
+        what = "strlen"
+    return FaultSpec(
+        mclass="dangling-pointer",
+        expected=C.DanglingPointerError,
+        source=lines,
+        description=f"{what} through a pointer at 0x{addr:x}, an "
+                    "address mapped in no run (never-allocated "
+                    "storage)",
+        params={"addr": addr, "memset": use_memset})
+
+
+def _bad_downcast(rng: random.Random) -> FaultSpec:
+    extra = rng.randrange(2, 6)
+    fields = "".join(f" int __fi_f{i};" for i in range(extra))
+    return FaultSpec(
+        mclass="bad-downcast",
+        expected=C.RttiCastError,
+        source=(
+            "struct __fi_small { int __fi_a; };\n"
+            f"struct __fi_big {{ int __fi_a;{fields} }};\n"
+            "int main(void) {\n"
+            "    struct __fi_small __fi_s;\n"
+            "    __fi_s.__fi_a = 1;\n"
+            "    void *__fi_v = (void *)&__fi_s;\n"
+            "    struct __fi_big *__fi_b = "
+            "(struct __fi_big *)__fi_v;\n"
+            f"    __fi_b->__fi_f{extra - 1} = 7;\n"
+            "    return 0;\n"
+            "}\n"),
+        description=f"downcast of a 1-field struct to a "
+                    f"{extra + 1}-field struct through void*, then a "
+                    "write past the real object",
+        params={"extra": extra})
+
+
+def _uninitialized_pointer(rng: random.Random) -> FaultSpec:
+    write = rng.random() < 0.5
+    body = ("*__fi_u = 1;" if write
+            else "__fi_sink = *__fi_u;")
+    return FaultSpec(
+        mclass="uninit-pointer",
+        expected=C.UninitializedError,
+        source=(
+            "int __fi_sink;\n"
+            "int main(void) {\n"
+            "    int *__fi_u;\n"
+            f"    {body}\n"
+            "    return 0;\n"
+            "}\n"),
+        description="use of a never-assigned pointer local "
+                    f"({'write' if write else 'read'})",
+        detect_uninit=True,
+        params={"write": write})
+
+
+def _wild_library_compat(rng: random.Random) -> FaultSpec:
+    v = rng.randrange(32, 127)
+    return FaultSpec(
+        mclass="wild-library-compat",
+        expected=C.CompatibilityError,
+        source=(
+            "extern void *gethostbyname(char *name);\n"
+            "int main(void) {\n"
+            f"    int __fi_word = {v};\n"
+            "    int *__fi_ip = &__fi_word;\n"
+            "    char *__fi_name = (char *)__fi_ip;\n"
+            "    void *__fi_h = gethostbyname(__fi_name);\n"
+            "    __fi_h = (void *)0;\n"
+            "    return 0;\n"
+            "}\n"),
+        description="WILD (bad-cast) buffer passed to an unwrapped "
+                    "library function (gethostbyname)",
+        params={"v": v})
+
+
+def _link_undefined(rng: random.Random) -> FaultSpec:
+    n = rng.randrange(1000, 10000)
+    return FaultSpec(
+        mclass="link-undefined",
+        expected=C.LinkError,
+        source=(
+            f"extern int __fi_undefined_{n}(int __fi_x);\n"
+            "int main(void) {\n"
+            f"    int __fi_r = __fi_undefined_{n}(1);\n"
+            "    return __fi_r;\n"
+            "}\n"),
+        description="call of an external function with no "
+                    "definition, builtin or wrapper",
+        params={"n": n})
+
+
+#: mutation class name -> seeded builder.  Ordered: campaign reports
+#: list classes in this order.
+MUTATORS: dict[str, Callable[[random.Random], FaultSpec]] = {
+    "null-deref": _null_deref,
+    "bounds-off-by-one": _bounds_off_by_one,
+    "nul-removal": _nul_termination_removed,
+    "wild-tag": _wild_tag_corruption,
+    "use-after-return": _use_after_return,
+    "dangling-pointer": _dangling_pointer,
+    "bad-downcast": _bad_downcast,
+    "uninit-pointer": _uninitialized_pointer,
+    "wild-library-compat": _wild_library_compat,
+    "link-undefined": _link_undefined,
+}
+
+
+def make_variant(workload_name: str, mclass: str,
+                 seed: int) -> FaultSpec:
+    """The deterministic variant of ``mclass`` for this workload and
+    seed.  ``random.Random`` seeded with a string hashes it with
+    SHA-512 internally, so the stream is stable across processes and
+    platforms."""
+    builder = MUTATORS.get(mclass)
+    if builder is None:
+        raise KeyError(f"unknown mutation class {mclass!r} "
+                       f"(known: {', '.join(MUTATORS)})")
+    rng = random.Random(f"{seed}:{workload_name}:{mclass}")
+    return builder(rng)
+
+
+# ---------------------------------------------------------------------------
+# Grafting
+# ---------------------------------------------------------------------------
+
+class _VarRemapper(Visitor):
+    """Rewrite variable references per ``remap`` (snippet decl vid ->
+    target Varinfo) in a grafted tree."""
+
+    def __init__(self, remap: dict[int, E.Varinfo]) -> None:
+        self.remap = remap
+
+    def visit_lval(self, lv: E.Lval) -> None:
+        if isinstance(lv.host, E.Var):
+            tgt = self.remap.get(lv.host.var.vid)
+            if tgt is not None:
+                lv.host.var = tgt
+
+
+def graft(target: Program, spec: FaultSpec,
+          name: Optional[str] = None) -> Program:
+    """Mutate ``target`` in place: plant ``spec``'s fault at the top
+    of its ``main``.
+
+    The fragment is parsed standalone; declarations of symbols the
+    target already has (``strlen`` et al.) are remapped onto the
+    target's own variables, the fragment ``main``'s statements are
+    prepended to the target ``main``'s body (minus trailing returns,
+    so a *surviving* raw run continues into the workload), and every
+    other fragment global (helper functions, sink globals, struct
+    tags) is added to the target."""
+    from repro.frontend import parse_program
+
+    frag = parse_program(spec.source,
+                         name=name or f"fault:{spec.mclass}")
+    fmain = frag.functions.get("main")
+    if fmain is None:
+        raise ValueError(f"fault fragment {spec.mclass} has no main")
+    tmain = target.functions.get("main")
+    if tmain is None:
+        raise ValueError("target program has no main to graft into")
+
+    # 1. remap fragment declarations of symbols the target defines
+    remap: dict[int, E.Varinfo] = {}
+    for g in frag.globals:
+        if not isinstance(g, GVarDecl):
+            continue
+        nm = g.var.name
+        existing = None
+        if nm in target.functions:
+            existing = target.functions[nm].svar
+        elif nm in target.global_vars:
+            existing = target.global_vars[nm]
+        elif nm in target.externals:
+            existing = target.externals[nm]
+        if existing is not None:
+            remap[g.var.vid] = existing
+    if remap:
+        remapper = _VarRemapper(remap)
+        for fd in frag.fundecs():
+            walk_stmt(fd.body, remapper)
+
+    # 2. fragment main's trailing returns go: raw survivors fall
+    #    through into the workload's own code
+    stmts = list(fmain.body.stmts)
+    while stmts and isinstance(stmts[-1], S.Return):
+        stmts.pop()
+
+    # 3. prepend body + locals into the target main
+    tmain.body.stmts[0:0] = stmts
+    tmain.locals.extend(fmain.locals)
+
+    # 4. carry over the fragment's other globals (helpers, sinks,
+    #    comp tags); remapped decls and the fragment main stay behind
+    for g in frag.globals:
+        if isinstance(g, GFun) and g.fundec is fmain:
+            continue
+        if isinstance(g, GVarDecl) and g.var.vid in remap:
+            continue
+        target.add(g)
+    return target

@@ -1,0 +1,67 @@
+"""Rendering of campaign reports: deterministic JSON + markdown.
+
+No timestamps, no machine identifiers: the report is a pure function
+of (seed, campaign, workload set, mutation classes), which is what
+makes ``same seed → same report`` a testable property.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.faults.campaign import CampaignReport
+
+
+def report_to_json(report: CampaignReport, indent: int = 2) -> str:
+    """The campaign as a canonical JSON document (sorted keys, stable
+    ordering — byte-identical across runs with the same inputs)."""
+    return json.dumps(report.to_json(), indent=indent,
+                      sort_keys=True) + "\n"
+
+
+def report_to_markdown(report: CampaignReport) -> str:
+    """The campaign as the paper-style experiment table: per-workload
+    injected/caught counts plus the per-class error breakdown."""
+    lines = [
+        f"Campaign `{report.campaign}` (seed {report.seed}): "
+        f"{report.caught}/{report.injected} faults caught, "
+        f"{report.agreed}/{report.injected} engine-identical.",
+        "",
+        "| Workload | Injected | Caught | Agree | Raw crashes | "
+        "Raw survives |",
+        "|---|---|---|---|---|---|",
+    ]
+    by_wl: dict[str, list] = {}
+    for v in report.variants:
+        by_wl.setdefault(v.workload, []).append(v)
+    for wl, vs in by_wl.items():
+        crashes = sum(1 for v in vs
+                      if v.raw_outcome.startswith("crash"))
+        survives = sum(1 for v in vs
+                       if v.raw_outcome.startswith(("exit", "limit")))
+        lines.append(
+            f"| {wl} | {len(vs)} | "
+            f"{sum(1 for v in vs if v.caught)} | "
+            f"{sum(1 for v in vs if v.engines_agree)} | "
+            f"{crashes} | {survives} |")
+    lines += ["", "| Mutation class | Expected error | Injected | "
+              "Caught |", "|---|---|---|---|"]
+    by_class: dict[str, list] = {}
+    for v in report.variants:
+        by_class.setdefault(v.mclass, []).append(v)
+    for mc, vs in by_class.items():
+        expected = Counter(v.expected for v in vs).most_common(1)[0][0]
+        lines.append(f"| {mc} | {expected} | {len(vs)} | "
+                     f"{sum(1 for v in vs if v.caught)} |")
+    missed = [v for v in report.variants
+              if not (v.caught and v.engines_agree)]
+    if missed:
+        lines += ["", "Missed or divergent variants:"]
+        for v in missed:
+            runs = "; ".join(
+                f"{r.tool}: {r.outcome}"
+                + (f" {r.error}" if r.error else "")
+                for r in v.runs)
+            lines.append(f"- {v.workload}/{v.mclass}: {runs}")
+    return "\n".join(lines) + "\n"

@@ -105,6 +105,12 @@ def compiled_body(fd: S.Fundec, cured: bool) -> Callable:
 _CODE_CACHE: dict[str, object] = {}
 
 
+def _indent(code: str) -> str:
+    """Indent generated source one level (for try/except nesting)."""
+    return "".join("    " + line if line.strip() else line
+                   for line in code.splitlines(keepends=True))
+
+
 def _gen(src: str, env: dict) -> Callable:
     code = _CODE_CACHE.get(src)
     if code is None:
@@ -125,15 +131,16 @@ _INSTR_HEAD = (
     "    if sh is not None:\n"
     "        sh.on_instr()\n")
 
-#: per-statement step accounting shared by If/Return sources
+#: per-statement step accounting shared by If/Return sources.  The
+#: limit compare goes against ``_limit_at`` (== max_steps without a
+#: deadline); ``_over_limit`` raises or advances the clock checkpoint.
 _STEP_HEAD = (
     "def run(ip, f):\n"
     "    ip.steps += 1\n"
-    "    if ip.steps > ip.max_steps:\n"
-    "        raise InterpreterLimitError(_STEP_MSG)\n")
+    "    if ip.steps > ip._limit_at:\n"
+    "        ip._over_limit()\n")
 
-_STEP_ENV = {"InterpreterLimitError": InterpreterLimitError,
-             "_STEP_MSG": _STEP_MSG}
+_STEP_ENV: dict = {}
 
 #: comparison operators by symbol (fast path inlines the operator)
 _CMP_SYM = {
@@ -329,22 +336,22 @@ class _Compiler:
 
             def run(ip, f):
                 ip.steps += 1
-                if ip.steps > ip.max_steps:
-                    raise InterpreterLimitError(_STEP_MSG)
+                if ip.steps > ip._limit_at:
+                    ip._over_limit()
                 body(ip, f)
             return run
         if cls is S.Break:
             def run(ip, f):
                 ip.steps += 1
-                if ip.steps > ip.max_steps:
-                    raise InterpreterLimitError(_STEP_MSG)
+                if ip.steps > ip._limit_at:
+                    ip._over_limit()
                 raise _Break()
             return run
         if cls is S.Continue:
             def run(ip, f):
                 ip.steps += 1
-                if ip.steps > ip.max_steps:
-                    raise InterpreterLimitError(_STEP_MSG)
+                if ip.steps > ip._limit_at:
+                    ip._over_limit()
                 raise _Continue()
             return run
 
@@ -352,8 +359,8 @@ class _Compiler:
         # and falls through; replicate.
         def run(ip, f):
             ip.steps += 1
-            if ip.steps > ip.max_steps:
-                raise InterpreterLimitError(_STEP_MSG)
+            if ip.steps > ip._limit_at:
+                ip._over_limit()
         return run
 
     def _compile_instr_stmt(self, s: S.InstrStmt) -> Callable:
@@ -363,15 +370,15 @@ class _Compiler:
 
             def run(ip, f):
                 ip.steps += 1
-                if ip.steps > ip.max_steps:
-                    raise InterpreterLimitError(_STEP_MSG)
+                if ip.steps > ip._limit_at:
+                    ip._over_limit()
                 one(ip, f)
             return run
 
         def run(ip, f):
             ip.steps += 1
-            if ip.steps > ip.max_steps:
-                raise InterpreterLimitError(_STEP_MSG)
+            if ip.steps > ip._limit_at:
+                ip._over_limit()
             for i in instrs:
                 i(ip, f)
         return run
@@ -402,8 +409,8 @@ class _Compiler:
 
         def run(ip, f):
             ip.steps += 1
-            if ip.steps > ip.max_steps:
-                raise InterpreterLimitError(_STEP_MSG)
+            if ip.steps > ip._limit_at:
+                ip._over_limit()
             while True:
                 try:
                     for x in stmts:
@@ -422,8 +429,8 @@ class _Compiler:
         if s.exp is None:
             def run(ip, f):
                 ip.steps += 1
-                if ip.steps > ip.max_steps:
-                    raise InterpreterLimitError(_STEP_MSG)
+                if ip.steps > ip._limit_at:
+                    ip._over_limit()
                 raise _Return(0)
             return run
         fcode, fenv = self._fetch(s.exp, 1)
@@ -560,7 +567,19 @@ class _Compiler:
         if body is None:
             return _gen(head, env)
         bcode, benv = body
-        return _gen(head + bcode, {**env, **benv})
+        # Mirror the tree walker's _exec_check: a failing check gets
+        # its CheckFailure record attached before propagating.  The
+        # Check node rides in the env, so the source text (and the
+        # cached code object) stays shared across same-shape checks.
+        src = (head
+               + "    try:\n"
+               + _indent(bcode)
+               + "    except MemorySafetyError as exc:\n"
+               + "        ip._attach_check_failure(exc, chk, "
+               "f.fundec.name)\n"
+               + "        raise\n")
+        return _gen(src, {**env, **benv, "chk": c,
+                          "MemorySafetyError": MemorySafetyError})
 
     def _check_body_code(self, c: S.Check) -> Optional[tuple[str, dict]]:
         K = S.CheckKind

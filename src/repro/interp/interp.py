@@ -21,6 +21,7 @@ ratios (cured/raw, purify/raw, …) are exactly reproducible.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -39,10 +40,11 @@ from repro.runtime.checks import (BoundsError, CompatibilityError,
                                   NullDereferenceError, ProgramAbort,
                                   ProgramExit, RttiCastError,
                                   SegmentationFault, StackEscapeError,
-                                  WildTagError)
+                                  UninitializedError, WildTagError,
+                                  attach_failure)
 from repro.runtime.cost import COST_WILD_TAG_UPDATE, CostModel
 from repro.runtime.memory import Home, Memory, PtrMeta
-from repro.runtime.values import NULL, BlobVal, PtrVal
+from repro.runtime.values import NULL, POISON_ADDR, BlobVal, PtrVal
 
 
 class _Break(Exception):
@@ -111,7 +113,9 @@ class Interpreter:
                  stdin: str = "",
                  cost: Optional[CostModel] = None,
                  engine: str = "closures",
-                 stdout_limit: int = 4_000_000) -> None:
+                 stdout_limit: int = 4_000_000,
+                 deadline: Optional[float] = None,
+                 detect_uninit: bool = False) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r} "
                              f"(expected one of {ENGINES})")
@@ -142,6 +146,22 @@ class Interpreter:
             shadow.attach(self)
         self.max_steps = max_steps
         self.steps = 0
+        self.detect_uninit = detect_uninit
+        # Wall-clock deadline, enforced at step-count checkpoints: the
+        # fast path compares steps against _limit_at only; every
+        # _clock_every steps _over_limit() consults the monotonic
+        # clock.  With no deadline the limit is max_steps and the
+        # clock is never read — behaviour is bit-identical.
+        self.deadline = deadline
+        self._clock_every = 65536
+        if deadline is not None:
+            self._deadline_at = time.monotonic() + deadline
+            self._next_clock = self._clock_every
+            self._limit_at = min(max_steps, self._next_clock)
+        else:
+            self._deadline_at = None
+            self._next_clock = None
+            self._limit_at = max_steps
         self._stdout: list[str] = []
         self._stdout_len = 0
         self._stdin = stdin
@@ -221,6 +241,13 @@ class Interpreter:
     # Small helpers
     # ------------------------------------------------------------------
 
+    def _current_function(self) -> Optional[str]:
+        """Name of the innermost C frame, for failure records raised
+        outside a Check instruction (wrappers, dispatch)."""
+        if self._frames:
+            return self._frames[-1].fundec.name
+        return None
+
     def _sizeof(self, t: T.CType) -> int:
         size = getattr(t, "_csize_cache", None)
         if size is not None:
@@ -234,6 +261,20 @@ class Interpreter:
         except AttributeError:
             pass
         return size
+
+    def _over_limit(self) -> None:
+        """Slow path of the step/deadline limiter.  Raises on a real
+        budget overrun, otherwise reads the clock (deadline mode) and
+        advances the next checkpoint."""
+        if self.steps > self.max_steps:
+            raise InterpreterLimitError("step budget exceeded")
+        if self._deadline_at is not None \
+                and time.monotonic() >= self._deadline_at:
+            raise InterpreterLimitError(
+                f"wall-clock deadline of {self.deadline:g}s exceeded")
+        assert self._next_clock is not None
+        self._next_clock += self._clock_every
+        self._limit_at = min(self.max_steps, self._next_clock)
 
     def io_charge(self, cycles: int) -> None:
         """Charge simulated I/O latency (kernel/device/wire time).
@@ -290,7 +331,9 @@ class Interpreter:
         home = self.mem.home_of(p.addr)
         if home is None or home.region != "heap":
             if self.cured:
-                raise BoundsError("free of non-heap pointer")
+                raise attach_failure(
+                    BoundsError("free of non-heap pointer"),
+                    check="FREE", function=self._current_function())
             return
         if self.shadow is not None:
             self.shadow.on_free(home)
@@ -316,21 +359,31 @@ class Interpreter:
 
     def read_cstring(self, p: PtrVal, limit: int = 1 << 20) -> str:
         if p.is_null:
-            raise NullDereferenceError("string is NULL")
+            raise attach_failure(
+                NullDereferenceError("string is NULL"),
+                check="CHECK_VERIFY_NUL",
+                function=self._current_function())
         if self.cured:
             home = self.mem.home_of(p.addr)
             if home is None:
-                raise DanglingPointerError(
-                    f"string pointer 0x{p.addr:x} not in any object")
+                raise attach_failure(
+                    DanglingPointerError(
+                        f"string pointer 0x{p.addr:x} not in any "
+                        f"object"),
+                    check="CHECK_VERIFY_NUL",
+                    function=self._current_function())
             end = home.end
             if p.e is not None:
                 end = min(end, p.e)
             raw = self.mem.read_raw(p.addr, end - p.addr)
             idx = raw.find(b"\0")
             if idx < 0:
-                raise BoundsError(
-                    "__verify_nul: string not NUL-terminated within "
-                    "bounds")
+                raise attach_failure(
+                    BoundsError(
+                        "__verify_nul: string not NUL-terminated "
+                        "within bounds"),
+                    check="CHECK_VERIFY_NUL",
+                    function=self._current_function())
             if self.shadow is not None:
                 self.shadow.on_read(p.addr, idx + 1)
             return raw[:idx].decode("latin-1")
@@ -345,7 +398,14 @@ class Interpreter:
                 return out.decode("latin-1")
             out += b
             addr += 1
-        raise InterpreterLimitError("unterminated string")
+        # The string scan ran off the end of the read limit without
+        # meeting a NUL — a bounds violation of the scan itself, not a
+        # budget problem of the interpreter.
+        raise attach_failure(
+            BoundsError(
+                f"string not NUL-terminated within {limit} bytes"),
+            check="CHECK_VERIFY_NUL",
+            function=self._current_function())
 
     def write_cstring(self, p: PtrVal, text: str) -> None:
         data = text.encode("latin-1", "replace") + b"\0"
@@ -357,17 +417,26 @@ class Interpreter:
         """The wrapper precondition __verify_size: ``n`` bytes must be
         available at ``p`` (within its bounds and its home)."""
         if p.is_null:
-            raise NullDereferenceError(f"{what}: NULL buffer")
+            raise attach_failure(
+                NullDereferenceError(f"{what}: NULL buffer"),
+                check="CHECK_VERIFY_SIZE",
+                function=self._current_function())
         home = self.mem.home_of(p.addr)
         if home is None:
-            raise DanglingPointerError(f"{what}: invalid pointer")
+            raise attach_failure(
+                DanglingPointerError(f"{what}: invalid pointer"),
+                check="CHECK_VERIFY_SIZE",
+                function=self._current_function())
         end = home.end
         if p.e is not None:
             end = min(end, p.e)
         if p.addr + n > end:
-            raise BoundsError(
-                f"{what}: needs {n} bytes, only {end - p.addr} "
-                f"available in {home.name or home.region}")
+            raise attach_failure(
+                BoundsError(
+                    f"{what}: needs {n} bytes, only {end - p.addr} "
+                    f"available in {home.name or home.region}"),
+                check="CHECK_VERIFY_SIZE",
+                function=self._current_function())
 
     # ------------------------------------------------------------------
     # Running
@@ -492,6 +561,11 @@ class Interpreter:
         if isinstance(u, T.TFloat):
             return 0.0
         if isinstance(u, T.TPtr):
+            if self.detect_uninit and self.cured:
+                # Poison register pointer locals so a use before any
+                # assignment trips UninitializedError instead of
+                # silently reading as NULL.
+                return PtrVal(POISON_ADDR)
             return NULL
         return 0
 
@@ -524,7 +598,9 @@ class Interpreter:
             return self._call_fundec(self.functions[name], args)
         impl = libc_mod.BUILTINS.get(name)
         if impl is None:
-            raise LinkError(f"undefined external function {name}")
+            raise attach_failure(
+                LinkError(f"undefined external function {name}"),
+                check="LINK", function=self._current_function())
         if self.cured and instr is not None:
             self._check_library_compat(name, instr)
         self.cost.charge(4, f"libcall:{name}")
@@ -551,16 +627,25 @@ class Interpreter:
                 node = u.node
                 kind = node.kind if node is not None else None
                 if kind is PointerKind.WILD or contains_wild(u.base):
-                    raise CompatibilityError(
-                        f"{name}: WILD data cannot cross the library "
-                        "boundary (tagged areas have no C layout)")
+                    raise attach_failure(
+                        CompatibilityError(
+                            f"{name}: WILD data cannot cross the "
+                            "library boundary (tagged areas have no "
+                            "C layout)"),
+                        check="LIBRARY_COMPAT",
+                        pointer_kind=kind.name if kind else None,
+                        function=self._current_function())
                 if node is not None and needs_metadata(u.base) \
                         and not node.split:
-                    raise CompatibilityError(
-                        f"{name}: argument type "
-                        f"{u.base!r} needs interleaved metadata; "
-                        "a wrapper or a SPLIT representation is "
-                        "required")
+                    raise attach_failure(
+                        CompatibilityError(
+                            f"{name}: argument type "
+                            f"{u.base!r} needs interleaved metadata; "
+                            "a wrapper or a SPLIT representation is "
+                            "required"),
+                        check="LIBRARY_COMPAT",
+                        pointer_kind=kind.name if kind else None,
+                        function=self._current_function())
 
     # ------------------------------------------------------------------
     # Statements
@@ -572,8 +657,8 @@ class Interpreter:
 
     def _exec_stmt(self, s: S.Stmt, frame: Frame) -> None:
         self.steps += 1
-        if self.steps > self.max_steps:
-            raise InterpreterLimitError("step budget exceeded")
+        if self.steps > self._limit_at:
+            self._over_limit()
         if isinstance(s, S.InstrStmt):
             for i in s.instrs:
                 self._exec_instr(i, frame)
@@ -653,6 +738,21 @@ class Interpreter:
     def _exec_check(self, c: S.Check, frame: Frame) -> None:
         if not self.cured:
             return  # raw runs of an instrumented program skip checks
+        try:
+            self._exec_check_kind(c, frame)
+        except MemorySafetyError as exc:
+            self._attach_check_failure(exc, c, frame.fundec.name)
+            raise
+
+    def _attach_check_failure(self, exc: MemorySafetyError,
+                              c: S.Check, fname: str) -> None:
+        """Attach the structured record of a failed Check (both
+        engines route their check raises through here)."""
+        attach_failure(exc, check=c.kind.value,
+                       pointer_kind=_check_pointer_kind(c),
+                       function=fname, site=c.site)
+
+    def _exec_check_kind(self, c: S.Check, frame: Frame) -> None:
         self.cost.charge_check(c.kind)
         K = S.CheckKind
         if c.kind is K.NULL:
@@ -793,6 +893,10 @@ class Interpreter:
     def _check_alive(self, v: PtrVal, frame: Frame) -> None:
         home = self.mem.home_of(v.addr)
         if home is None:
+            if self.detect_uninit and v.addr == POISON_ADDR:
+                raise UninitializedError(
+                    "use of uninitialized pointer",
+                    frame.fundec.name)
             raise DanglingPointerError(
                 f"pointer 0x{v.addr:x} into unmapped memory",
                 frame.fundec.name)
@@ -903,9 +1007,12 @@ class Interpreter:
             return
         src_home = self.mem.home_of(value.addr)
         if src_home is not None and src_home.region == "stack":
-            raise StackEscapeError(
-                f"storing stack pointer ({src_home.name}) into "
-                f"{dest_home.region} memory", frame.fundec.name)
+            raise attach_failure(
+                StackEscapeError(
+                    f"storing stack pointer ({src_home.name}) into "
+                    f"{dest_home.region} memory", frame.fundec.name),
+                check="CHECK_STORE_STACK_PTR",
+                function=frame.fundec.name)
 
     # ------------------------------------------------------------------
     # Typed memory access
@@ -1355,6 +1462,24 @@ class Interpreter:
         return value
 
 
+def _check_pointer_kind(c: S.Check) -> Optional[str]:
+    """Static kind of the pointer a Check guards, for failure
+    records; cached on the Check node (checks run hot)."""
+    cached = getattr(c, "_pkind_cache", False)
+    if cached is not False:
+        return cached
+    kind: Optional[str] = None
+    if c.args:
+        try:
+            u = T.unroll(c.args[0].type())
+            if isinstance(u, T.TPtr) and u.node is not None:
+                kind = u.node.kind.name
+        except Exception:
+            kind = None
+    c._pkind_cache = kind  # type: ignore[attr-defined]
+    return kind
+
+
 _EVAL_DISPATCH = {
     E.Const: Interpreter._ev_const,
     E.StrConst: Interpreter._ev_str,
@@ -1409,11 +1534,14 @@ def run_cured(cured: CuredProgram,
               stdin: str = "",
               max_steps: int = 50_000_000,
               engine: str = "closures",
-              stdout_limit: int = 4_000_000) -> ExecResult:
+              stdout_limit: int = 4_000_000,
+              deadline: Optional[float] = None,
+              detect_uninit: bool = False) -> ExecResult:
     """Execute a cured program with all run-time checks active."""
     ip = Interpreter(cured.prog, cured=cured, stdin=stdin,
                      max_steps=max_steps, engine=engine,
-                     stdout_limit=stdout_limit)
+                     stdout_limit=stdout_limit, deadline=deadline,
+                     detect_uninit=detect_uninit)
     return ip.run(args)
 
 
@@ -1423,12 +1551,13 @@ def run_raw(prog: Program,
             shadow: Optional[object] = None,
             max_steps: int = 50_000_000,
             engine: str = "closures",
-            stdout_limit: int = 4_000_000) -> ExecResult:
+            stdout_limit: int = 4_000_000,
+            deadline: Optional[float] = None) -> ExecResult:
     """Execute the uninstrumented program (hardware semantics),
     optionally under a shadow-memory checker (the baselines)."""
     ip = Interpreter(prog, cured=None, shadow=shadow, stdin=stdin,
                      max_steps=max_steps, engine=engine,
-                     stdout_limit=stdout_limit)
+                     stdout_limit=stdout_limit, deadline=deadline)
     if shadow is not None:
         shadow.attach(ip)
     return ip.run(args)

@@ -10,6 +10,45 @@ exploits"): the ftpd/sendmail buffer overruns become a clean
 
 from __future__ import annotations
 
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+
+@dataclass
+class CheckFailure:
+    """A structured, JSON-serializable record of one failed run-time
+    check.
+
+    Attached to the :class:`MemorySafetyError` that the check raises
+    (``exc.failure``), so campaign runners and the bench harness can
+    report *which* check fired *where* without parsing message strings.
+    ``check`` is the :class:`repro.cil.stmt.CheckKind` value (or a
+    wrapper/runtime operation name such as ``CHECK_VERIFY_NUL`` or
+    ``LINK``); ``site`` is the check's statement id assigned by the
+    curer; ``pointer_kind`` is the static kind of the checked pointer.
+    """
+
+    error: str                           # MemorySafetyError subclass
+    check: Optional[str] = None          # CheckKind value / op name
+    pointer_kind: Optional[str] = None   # SAFE/SEQ/FSEQ/WILD/RTTI
+    function: Optional[str] = None       # enclosing function
+    site: Optional[int] = None           # Check.site statement id
+    detail: str = ""                     # the human-readable message
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "CheckFailure":
+        """The attached record, or a best-effort one synthesized from
+        the exception itself (errors raised outside a ``Check``)."""
+        failure = getattr(exc, "failure", None)
+        if failure is not None:
+            return failure
+        return cls(error=type(exc).__name__,
+                   function=getattr(exc, "where", "") or None,
+                   detail=str(exc))
+
 
 class MemorySafetyError(Exception):
     """Base class of all failures detected by CCured's checks."""
@@ -18,6 +57,28 @@ class MemorySafetyError(Exception):
         suffix = f" [{where}]" if where else ""
         super().__init__(message + suffix)
         self.where = where
+        #: structured record of the failed check, attached at the
+        #: raise site (see :func:`attach_failure`)
+        self.failure: Optional[CheckFailure] = None
+
+
+def attach_failure(exc: MemorySafetyError, *,
+                   check: Optional[str] = None,
+                   pointer_kind: Optional[str] = None,
+                   function: Optional[str] = None,
+                   site: Optional[int] = None,
+                   detail: str = "") -> MemorySafetyError:
+    """Attach a :class:`CheckFailure` record to ``exc`` (first writer
+    wins: a record attached at the innermost raise site is never
+    overwritten by an outer handler).  Returns ``exc`` for ``raise
+    attach_failure(...)`` chaining."""
+    if exc.failure is None:
+        exc.failure = CheckFailure(
+            error=type(exc).__name__, check=check,
+            pointer_kind=pointer_kind,
+            function=function or (exc.where or None), site=site,
+            detail=detail or str(exc))
+    return exc
 
 
 class NullDereferenceError(MemorySafetyError):

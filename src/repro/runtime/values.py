@@ -72,6 +72,13 @@ class PtrVal:
 
 NULL = PtrVal(0)
 
+#: sentinel address used to poison uninitialized pointer locals when
+#: the interpreter's ``detect_uninit`` mode is on.  It lies in no
+#: memory region (regions top out below ``0x8000_0000``), so a
+#: dereference can never alias real storage; the liveness check maps
+#: it to :class:`repro.runtime.checks.UninitializedError`.
+POISON_ADDR = 0xF00D_DEAD
+
 
 class BlobVal:
     """A struct/array value: bytes plus shadow metadata by offset."""

@@ -1,0 +1,118 @@
+"""Every MemorySafetyError subclass is reachable, under both engines.
+
+One minimal program per error class; each must terminate the cured
+run with exactly that subclass, identically under the closure compiler
+and the tree-walking oracle, and carry a structured
+:class:`~repro.runtime.checks.CheckFailure` record.
+"""
+
+import pytest
+
+from repro.core import cure
+from repro.frontend import parse_program
+from repro.interp import run_cured
+from repro.runtime import checks as C
+
+#: error class -> (source, run_cured kwargs)
+TAXONOMY = {
+    C.NullDereferenceError: (
+        "int main(void) { int *p = (int *)0; return *p; }", {}),
+    C.BoundsError: (
+        "int main(void) { int a[4]; int *q = a; return q[4]; }", {}),
+    C.WildTagError: ("""
+        int main(void) {
+            int w;
+            int *p = &w;
+            int **pp = &p;
+            int *alias = (int *)pp;
+            *alias = 42;
+            return **pp;
+        }""", {}),
+    C.StackEscapeError: ("""
+        int *leak(void) { int x = 5; return &x; }
+        int main(void) { int *p = leak(); return *p; }""", {}),
+    C.RttiCastError: ("""
+        struct small { int a; };
+        struct big { int a; int b; int c; };
+        int main(void) {
+            struct small s;
+            void *v = (void *)&s;
+            struct big *b = (struct big *)v;
+            b->c = 7;
+            return 0;
+        }""", {}),
+    C.DanglingPointerError: ("""
+        extern int strlen(char *s);
+        int main(void) {
+            char *d = (char *)0x40040;
+            return strlen(d);
+        }""", {}),
+    C.UninitializedError: (
+        "int main(void) { int *u; return *u; }",
+        {"detect_uninit": True}),
+    C.CompatibilityError: ("""
+        extern void *gethostbyname(char *name);
+        int main(void) {
+            int w = 65;
+            int *ip = &w;
+            char *name = (char *)ip;
+            void *h = gethostbyname(name);
+            return 0;
+        }""", {}),
+    C.LinkError: ("""
+        extern int no_such_function(int x);
+        int main(void) { return no_such_function(1); }""", {}),
+}
+
+
+@pytest.mark.parametrize("engine", ("closures", "tree"))
+@pytest.mark.parametrize(
+    "exc", TAXONOMY, ids=lambda e: e.__name__)
+def test_subclass_reachable(exc, engine):
+    src, kwargs = TAXONOMY[exc]
+    cured = cure(parse_program(src, name=exc.__name__),
+                 name=exc.__name__)
+    with pytest.raises(exc) as ei:
+        run_cured(cured, engine=engine, **kwargs)
+    assert type(ei.value) is exc  # the exact subclass, not a parent
+    failure = C.CheckFailure.from_exception(ei.value)
+    assert failure.error == exc.__name__
+    assert failure.detail
+
+
+@pytest.mark.parametrize(
+    "exc", TAXONOMY, ids=lambda e: e.__name__)
+def test_engines_identical_on_failure(exc):
+    src, kwargs = TAXONOMY[exc]
+    outcomes = []
+    for engine in ("closures", "tree"):
+        cured = cure(parse_program(src, name=exc.__name__),
+                     name=exc.__name__)
+        with pytest.raises(exc) as ei:
+            run_cured(cured, engine=engine, **kwargs)
+        failure = C.CheckFailure.from_exception(ei.value)
+        outcomes.append((str(ei.value), failure.to_json()))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_check_failure_carries_site_and_kind():
+    src = "int main(void) { int *p = (int *)0; return *p; }"
+    cured = cure(parse_program(src, name="site"), name="site")
+    with pytest.raises(C.NullDereferenceError) as ei:
+        run_cured(cured)
+    f = ei.value.failure
+    assert f is not None
+    assert f.check == "CHECK_NULL"
+    assert f.pointer_kind == "SAFE"
+    assert f.function == "main"
+    assert isinstance(f.site, int) and f.site >= 1
+    assert f.to_json()["error"] == "NullDereferenceError"
+
+
+def test_detect_uninit_off_by_default():
+    # Without the flag the poisoning must not exist: the local reads
+    # as NULL and the null check fires instead.
+    src = "int main(void) { int *u; return *u; }"
+    cured = cure(parse_program(src, name="u"), name="u")
+    with pytest.raises(C.NullDereferenceError):
+        run_cured(cured)
