@@ -12,15 +12,23 @@ removal are measured here:
 2. constant-index elimination: in-range constant array indices carry
    no run-time check at all;
 3. locally-redundant-check elimination: repeated identical checks in
-   straight-line code are dropped (``repro.core.optimize``).
+   straight-line code are dropped (``repro.core.optimize``,
+   ``--optimize=local``);
+4. flow-sensitive elimination: the whole-function must-dataflow pass
+   (``repro.analysis``, ``--optimize=flow``, the default) removes
+   checks across statement boundaries, joins and loops.
+
+The ablation table reports, per level: checks *emitted* by the
+instrumenter, checks *elided* statically, and checks *executed* at
+run time.
 """
 
 from benchutil import run_once
 
-from repro.bench import run_workload
+from repro.bench import pristine_cure, run_workload
 from repro.cil.stmt import CheckKind
 from repro.core import CureOptions, cure
-from repro.interp import run_cured
+from repro.interp import Interpreter, run_cured
 from repro.workloads import get
 
 STRUCT_HEAVY = r'''
@@ -73,6 +81,85 @@ def test_constant_indices_checked_statically(benchmark):
 
     cured = run_once(benchmark, measure)
     assert CheckKind.INDEX not in cured.check_counts
+
+
+ABLATION_WORKLOADS = ("spec_compress", "olden_em3d", "ptrdist_ks",
+                      "apache_headers", "sbull")
+ABLATION_SCALE = 2
+
+
+def test_ablation_emitted_vs_executed_vs_elided(benchmark):
+    """The per-level ablation table: emitted / elided / executed."""
+    def measure():
+        rows = []
+        for name in ABLATION_WORKLOADS:
+            w = get(name)
+            args = list(w.args) or None
+            per_level = {}
+            for level in ("none", "local", "flow"):
+                cured = pristine_cure(
+                    w, options=CureOptions(optimize=level),
+                    scale=ABLATION_SCALE)
+                res = Interpreter(cured.prog, cured=cured,
+                                  stdin=w.stdin).run(args)
+                per_level[level] = {
+                    "emitted": sum(cured.check_counts.values()),
+                    "elided": cured.checks_removed,
+                    "executed": res.checks_executed,
+                    "cycles": res.cycles,
+                    "sig": (res.status, res.stdout),
+                }
+            rows.append((name, per_level))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print("\n  workload           level  emitted  elided  executed")
+    for name, per_level in rows:
+        emitted = per_level["none"]["emitted"]
+        for level in ("none", "local", "flow"):
+            d = per_level[level]
+            assert d["emitted"] == emitted, \
+                "emission must not depend on the elimination level"
+            print(f"  {name:<18} {level:<6} {d['emitted']:>7} "
+                  f"{d['elided']:>7} {d['executed']:>9}")
+        assert per_level["none"]["elided"] == 0
+        assert per_level["flow"]["elided"] >= \
+            per_level["local"]["elided"]
+        # fewer checks run and cost less, behaviour unchanged
+        assert per_level["flow"]["executed"] <= \
+            per_level["local"]["executed"] <= \
+            per_level["none"]["executed"]
+        assert per_level["flow"]["cycles"] <= \
+            per_level["none"]["cycles"]
+        sigs = {lvl: per_level[lvl]["sig"]
+                for lvl in ("none", "local", "flow")}
+        assert sigs["none"] == sigs["local"] == sigs["flow"]
+
+
+def test_flow_beats_local_at_runtime(benchmark):
+    """The flow level executes strictly fewer checks than the local
+    level on a check-heavy workload."""
+    def measure():
+        w = get("sbull")
+        args = list(w.args) or None
+        out = {}
+        for level in ("local", "flow"):
+            cured = pristine_cure(
+                w, options=CureOptions(optimize=level),
+                scale=ABLATION_SCALE)
+            out[level] = Interpreter(cured.prog, cured=cured,
+                                     stdin=w.stdin).run(args)
+        return out
+
+    out = run_once(benchmark, measure)
+    assert out["flow"].checks_executed < out["local"].checks_executed
+    assert out["flow"].cycles <= out["local"].cycles
+    saved = 1 - (out["flow"].checks_executed
+                 / max(1, out["local"].checks_executed))
+    print(f"\n  flow vs local on sbull: "
+          f"{out['local'].checks_executed} -> "
+          f"{out['flow'].checks_executed} checks executed "
+          f"({saved:.1%} fewer)")
 
 
 def test_elimination_on_workloads_is_sound(benchmark):

@@ -1,0 +1,33 @@
+"""Flow-sensitive static analysis over the CIL IR.
+
+The reproduction's first genuine static-analysis subsystem: a CFG
+builder over the structured statement trees (:mod:`.cfg`), a forward
+*must* dataflow engine over proven pointer facts (:mod:`.dataflow`),
+the whole-function check eliminator built on its fixpoint
+(:mod:`.eliminate`), and the per-function statistics backing
+``repro analyze`` (:mod:`.stats`).
+
+This is the machinery behind the paper's contrast with binary-level
+tools: "without the source code and the type information it contains,
+Purify cannot statically remove checks as CCured does."  The
+straight-line pass in :mod:`repro.core.optimize` remains available as
+``optimize="local"`` and serves as a differential oracle.
+"""
+
+from repro.analysis.cfg import CFG, BasicBlock, Edge, build_cfg
+from repro.analysis.dataflow import (FactDomain, branch_facts,
+                                     gen_check_facts, ptr_var, solve,
+                                     transfer_instr)
+from repro.analysis.eliminate import (FunctionAnalysis, analyze_fundec,
+                                      eliminate_checks_flow)
+from repro.analysis.stats import (analyze_cured, analyze_fundec_stats,
+                                  analyze_source, render_table)
+
+__all__ = [
+    "CFG", "BasicBlock", "Edge", "build_cfg",
+    "FactDomain", "branch_facts", "gen_check_facts", "ptr_var",
+    "solve", "transfer_instr",
+    "FunctionAnalysis", "analyze_fundec", "eliminate_checks_flow",
+    "analyze_cured", "analyze_fundec_stats", "analyze_source",
+    "render_table",
+]

@@ -1,0 +1,232 @@
+"""Control-flow graphs over the CIL statement tree.
+
+The curing pipeline keeps function bodies as structured statement
+trees (``If``/``Loop``/``Break``/``Continue``), which is the right
+shape for instrumentation and printing but the wrong shape for
+dataflow.  This module flattens a :class:`repro.cil.stmt.Fundec` body
+into basic blocks of *instruction references* — the blocks alias the
+very ``Instr`` objects stored in the tree, so a fact proven for a
+block instruction can be mapped back to its tree position by identity
+when the eliminator rewrites the body.
+
+Edges preserve what the dataflow needs:
+
+* branch edges carry the ``If`` condition plus a polarity, so the
+  solver can refine facts per arm (``if (p)`` proves ``NonNull(p)``
+  on the true edge);
+* loop back-edges are marked, both for reporting and so a reader of
+  ``repro analyze`` output can see where fixpoint iteration happened;
+* ``continue_runs_trailing`` (the frontend's encoding of ``for``
+  increments) is honoured: ``continue`` targets the block holding the
+  trailing statements, not the loop header, exactly as both engines
+  execute it.
+
+Unreachable statements (code after ``return``/``break``) land in
+predecessor-less blocks; the solver treats those as having *no* proven
+facts, so nothing is ever eliminated on the strength of being dead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cil import expr as E
+from repro.cil import stmt as S
+
+
+class Edge:
+    """A CFG edge, optionally carrying a branch condition."""
+
+    __slots__ = ("src", "dst", "cond", "polarity", "back")
+
+    def __init__(self, src: "BasicBlock", dst: "BasicBlock",
+                 cond: Optional[E.Exp] = None,
+                 polarity: Optional[bool] = None,
+                 back: bool = False) -> None:
+        self.src = src
+        self.dst = dst
+        self.cond = cond          # If condition on branch edges
+        self.polarity = polarity  # True = then-edge, False = else-edge
+        self.back = back          # loop back-edge
+
+    def __repr__(self) -> str:
+        c = ""
+        if self.cond is not None:
+            c = f" [{'' if self.polarity else '!'}{self.cond!r}]"
+        b = " (back)" if self.back else ""
+        return f"b{self.src.bid}->b{self.dst.bid}{c}{b}"
+
+
+class BasicBlock:
+    """A maximal straight-line run of instructions."""
+
+    __slots__ = ("bid", "instrs", "succs", "preds")
+
+    def __init__(self, bid: int) -> None:
+        self.bid = bid
+        self.instrs: list[S.Instr] = []
+        self.succs: list[Edge] = []
+        self.preds: list[Edge] = []
+
+    def __repr__(self) -> str:
+        return f"<block b{self.bid}: {len(self.instrs)} instrs>"
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, fundec: S.Fundec) -> None:
+        self.fundec = fundec
+        self.blocks: list[BasicBlock] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self) -> BasicBlock:
+        b = BasicBlock(len(self.blocks))
+        self.blocks.append(b)
+        return b
+
+    def add_edge(self, src: BasicBlock, dst: BasicBlock,
+                 cond: Optional[E.Exp] = None,
+                 polarity: Optional[bool] = None,
+                 back: bool = False) -> Edge:
+        e = Edge(src, dst, cond, polarity, back)
+        src.succs.append(e)
+        dst.preds.append(e)
+        return e
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(b.succs) for b in self.blocks)
+
+    @property
+    def n_back_edges(self) -> int:
+        return sum(1 for b in self.blocks for e in b.succs if e.back)
+
+    def rpo(self) -> list[BasicBlock]:
+        """Blocks in reverse postorder from the entry, followed by any
+        unreachable blocks (in creation order)."""
+        seen: set[int] = set()
+        post: list[BasicBlock] = []
+
+        def dfs(root: BasicBlock) -> None:
+            stack: list[tuple[BasicBlock, int]] = [(root, 0)]
+            seen.add(root.bid)
+            while stack:
+                b, i = stack.pop()
+                if i < len(b.succs):
+                    stack.append((b, i + 1))
+                    nxt = b.succs[i].dst
+                    if nxt.bid not in seen:
+                        seen.add(nxt.bid)
+                        stack.append((nxt, 0))
+                else:
+                    post.append(b)
+
+        dfs(self.entry)
+        order = list(reversed(post))
+        order.extend(b for b in self.blocks if b.bid not in seen)
+        return order
+
+
+class _Builder:
+    def __init__(self, fd: S.Fundec) -> None:
+        self.cfg = CFG(fd)
+        #: enclosing loops: (break target, continue target, header)
+        self._loops: list[tuple[BasicBlock, BasicBlock,
+                                BasicBlock]] = []
+
+    def build(self) -> CFG:
+        end = self._stmts(self.cfg.fundec.body.stmts, self.cfg.entry)
+        if end is not None:  # implicit return at the end of the body
+            self.cfg.add_edge(end, self.cfg.exit)
+        return self.cfg
+
+    def _stmts(self, stmts: list[S.Stmt],
+               cur: Optional[BasicBlock]) -> Optional[BasicBlock]:
+        for s in stmts:
+            if cur is None:
+                # Code after return/break/continue: park it in a
+                # predecessor-less block so its checks are never
+                # "proven" by the must-analysis.
+                cur = self.cfg.new_block()
+            cur = self._stmt(s, cur)
+        return cur
+
+    def _stmt(self, s: S.Stmt,
+              cur: BasicBlock) -> Optional[BasicBlock]:
+        if isinstance(s, S.InstrStmt):
+            cur.instrs.extend(s.instrs)
+            return cur
+        if isinstance(s, S.Return):
+            self.cfg.add_edge(cur, self.cfg.exit)
+            return None
+        if isinstance(s, S.Break):
+            if not self._loops:  # defensive: treat as function exit
+                self.cfg.add_edge(cur, self.cfg.exit)
+            else:
+                self.cfg.add_edge(cur, self._loops[-1][0])
+            return None
+        if isinstance(s, S.Continue):
+            if not self._loops:
+                self.cfg.add_edge(cur, self.cfg.exit)
+            else:
+                _, cont, header = self._loops[-1]
+                self.cfg.add_edge(cur, cont, back=(cont is header))
+            return None
+        if isinstance(s, S.Block):
+            return self._stmts(s.stmts, cur)
+        if isinstance(s, S.If):
+            return self._if(s, cur)
+        if isinstance(s, S.Loop):
+            return self._loop(s, cur)
+        return cur  # unknown statement kinds: straight through
+
+    def _if(self, s: S.If, cur: BasicBlock) -> Optional[BasicBlock]:
+        then_b = self.cfg.new_block()
+        else_b = self.cfg.new_block()
+        self.cfg.add_edge(cur, then_b, cond=s.cond, polarity=True)
+        self.cfg.add_edge(cur, else_b, cond=s.cond, polarity=False)
+        t_end = self._stmts(s.then.stmts, then_b)
+        e_end = self._stmts(s.els.stmts, else_b)
+        if t_end is None and e_end is None:
+            return None
+        join = self.cfg.new_block()
+        if t_end is not None:
+            self.cfg.add_edge(t_end, join)
+        if e_end is not None:
+            self.cfg.add_edge(e_end, join)
+        return join
+
+    def _loop(self, s: S.Loop,
+              cur: BasicBlock) -> Optional[BasicBlock]:
+        header = self.cfg.new_block()
+        self.cfg.add_edge(cur, header)
+        after = self.cfg.new_block()
+        stmts = s.body.stmts
+        n = getattr(s, "continue_runs_trailing", 0) or 0
+        n = min(n, len(stmts))
+        tail_entry: Optional[BasicBlock] = None
+        if n:
+            # ``continue`` executes the trailing n statements (the
+            # ``for`` increment) before re-testing the loop.
+            tail_entry = self.cfg.new_block()
+            cont: BasicBlock = tail_entry
+        else:
+            cont = header
+        self._loops.append((after, cont, header))
+        end = self._stmts(stmts[:len(stmts) - n], header)
+        if tail_entry is not None:
+            if end is not None:
+                self.cfg.add_edge(end, tail_entry)
+            end = self._stmts(stmts[len(stmts) - n:], tail_entry)
+        self._loops.pop()
+        if end is not None:
+            self.cfg.add_edge(end, header, back=True)
+        # a loop with no break never reaches the code after it
+        return after if after.preds else None
+
+
+def build_cfg(fd: S.Fundec) -> CFG:
+    """Build the CFG of one function definition."""
+    return _Builder(fd).build()

@@ -1,0 +1,308 @@
+"""Forward *must* dataflow over proven pointer facts.
+
+The lattice element at each program point is a set of facts known to
+hold on **every** path reaching that point (so the meet at a join is
+set intersection).  Facts are plain tuples:
+
+``("done", sig)``
+    A check with signature ``sig`` (see
+    :func:`repro.core.optimize._check_signature`) has already been
+    performed — with its *full* semantics, including the runtime's
+    liveness/poison screening — and its operands have not been
+    written since.  This is the strongest fact: an identical later
+    check is removable outright.
+
+``("nonnull", vid)``
+    The register pointer variable ``vid`` is non-null.  Produced by
+    branch refinement (``if (p)`` / ``p != 0`` edges), by address
+    provenance (``p = &x``), and by a passed dereference check on
+    ``p``.  A non-null value may still be dangling or poisoned, so
+    this fact alone never removes a ``CHECK_NULL`` — it must be
+    paired with ``("alive", vid)``.
+
+``("alive", vid)``
+    ``vid`` holds the address of storage that is mapped and live for
+    the remainder of the function unless the fact is killed: the
+    address of an in-scope local or global (``p = &x`` /
+    ``p = startof(arr)``), or a value that just passed a dereference
+    check (which performs the liveness screening).  ``nonnull`` +
+    ``alive`` together prove a ``CHECK_NULL`` passes.
+
+``("inb", vid, n)``
+    ``vid`` points at the start of an object with ``n`` addressable
+    bytes and carries matching bounds metadata — ``p = startof(arr)``
+    with a statically sized array.  Any SEQ/FSEQ bounds check of
+    ``size <= n`` on ``vid`` passes.
+
+``("rtti", vid, t)``
+    ``vid`` passed an RTTI downcast check against destination type
+    ``t``.  Re-checking the same value against ``t`` is redundant:
+    the value's dynamic type does not change, and effective-type
+    brands only ever refine to subtypes (a would-be conflicting
+    refinement raises before this point is reached).
+
+Kill sets are conservative and reuse the straight-line pass's alias
+reasoning (:func:`repro.core.optimize._vars_of_exp`):
+
+* a write to a scalar register variable kills the facts depending on
+  that variable;
+* a write to a global or address-taken variable, or through memory,
+  additionally kills every fact whose value can be read through
+  memory (the ``reads_mem`` bit of the dependency table);
+* a ``Call`` kills everything — callees may write any memory, free
+  heap homes, and pop stack frames, all of which can invalidate the
+  liveness component of ``done``/``alive`` facts.
+
+``CHECK_WILD_READ_TAG`` is special-cased as memory-reading even when
+its arguments are register-only: the tag word it inspects lives in
+memory and any store can flip it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.cil import expr as E
+from repro.cil import stmt as S
+from repro.cil import types as T
+from repro.analysis.cfg import CFG, BasicBlock
+from repro.core.optimize import _check_signature, _vars_of_exp
+
+Fact = Tuple
+FactSet = Set[Fact]
+
+#: check kinds whose *semantics* read mutable memory even when their
+#: argument expressions are register-only (the WILD tag word can be
+#: rewritten by any store).
+MEM_SEMANTIC_KINDS = frozenset({S.CheckKind.WILD_READ_TAG})
+
+#: dereference checks that, once passed, prove their pointer variable
+#: non-null *and* alive (they all run the liveness screening).
+_DEREF_CHECKS = frozenset({S.CheckKind.NULL, S.CheckKind.SEQ_BOUNDS,
+                           S.CheckKind.FSEQ_BOUNDS,
+                           S.CheckKind.WILD_BOUNDS})
+
+
+def strip_casts(e: E.Exp) -> E.Exp:
+    while isinstance(e, E.CastE):
+        e = e.e
+    return e
+
+
+def ptr_var(e: E.Exp) -> Optional[E.Varinfo]:
+    """The register variable a (possibly cast) pointer expression
+    reads, if it is exactly a whole-variable read."""
+    e = strip_casts(e)
+    if isinstance(e, E.LvalExp) and isinstance(e.lval.host, E.Var) \
+            and isinstance(e.lval.offset, E.NoOffset):
+        return e.lval.host.var
+    return None
+
+
+def _static_offsets(off: E.Offset) -> bool:
+    """Offset chains whose address is statically inside the host
+    object: fields only, no (possibly wild) array indexing."""
+    while not isinstance(off, E.NoOffset):
+        if not isinstance(off, E.Field):
+            return False
+        off = off.rest
+    return True
+
+
+def _array_bytes(lv: E.Lval) -> Optional[int]:
+    try:
+        t = T.unroll(lv.type())
+    except TypeError:
+        return None
+    if not isinstance(t, T.TArray):
+        return None
+    try:
+        return t.size()
+    except T.IncompleteTypeError:
+        return None
+
+
+class FactDomain:
+    """The fact universe of one function: tracks, per fact, the
+    variable ids it depends on and whether its value can be read
+    through memory (the kill-set index)."""
+
+    def __init__(self) -> None:
+        self.deps: Dict[Fact, Tuple[frozenset, bool]] = {}
+
+    # -- gen ---------------------------------------------------------------
+
+    def add(self, facts: FactSet, fact: Fact,
+            vids: Iterable[int], reads_mem: bool) -> None:
+        if fact not in self.deps:
+            self.deps[fact] = (frozenset(vids), reads_mem)
+        facts.add(fact)
+
+    def add_var_fact(self, facts: FactSet, fact: Fact,
+                     var: E.Varinfo) -> None:
+        # A global/address-taken variable can be rewritten through
+        # memory, so facts about it die with every memory write.
+        self.add(facts, fact, (var.vid,),
+                 var.is_global or var.address_taken)
+
+    # -- kill --------------------------------------------------------------
+
+    def kill_var(self, facts: FactSet, vid: int) -> None:
+        dead = [f for f in facts if vid in self.deps[f][0]]
+        facts.difference_update(dead)
+
+    def kill_memory(self, facts: FactSet) -> None:
+        dead = [f for f in facts if self.deps[f][1]]
+        facts.difference_update(dead)
+
+
+def gen_check_facts(dom: FactDomain, facts: FactSet,
+                    c: S.Check) -> None:
+    """Facts established by ``c`` having *passed* (a failed check
+    terminates the program, so every later point may assume it
+    passed)."""
+    deps: set[int] = set()
+    reads_mem = False
+    for a in c.args:
+        if _vars_of_exp(a, deps):
+            reads_mem = True
+    if c.kind in MEM_SEMANTIC_KINDS:
+        reads_mem = True
+    dom.add(facts, ("done", _check_signature(c)), deps, reads_mem)
+    if c.kind in _DEREF_CHECKS:
+        v = ptr_var(c.args[0])
+        if v is not None:
+            dom.add_var_fact(facts, ("nonnull", v.vid), v)
+            dom.add_var_fact(facts, ("alive", v.vid), v)
+    if c.kind is S.CheckKind.RTTI_CAST and c.rtti is not None:
+        v = ptr_var(c.args[0])
+        if v is not None:
+            dom.add_var_fact(facts, ("rtti", v.vid, repr(c.rtti)), v)
+
+
+def transfer_instr(dom: FactDomain, facts: FactSet,
+                   i: S.Instr) -> None:
+    """Apply one instruction's kills and gens to ``facts`` in place."""
+    if isinstance(i, S.Check):
+        gen_check_facts(dom, facts, i)
+        return
+    if isinstance(i, S.Set):
+        host = i.lval.host
+        whole_var = (isinstance(host, E.Var)
+                     and isinstance(i.lval.offset, E.NoOffset))
+        if whole_var:
+            var = host.var
+            dom.kill_var(facts, var.vid)
+            if var.is_global or var.address_taken:
+                dom.kill_memory(facts)
+        else:
+            if isinstance(host, E.Var):
+                dom.kill_var(facts, host.var.vid)
+            dom.kill_memory(facts)
+        if whole_var:
+            _gen_set_facts(dom, facts, host.var, i.exp)
+        return
+    # Calls can write any memory, free homes and pop frames.
+    facts.clear()
+
+
+def _gen_set_facts(dom: FactDomain, facts: FactSet, var: E.Varinfo,
+                   exp: E.Exp) -> None:
+    """Address provenance: ``p = &x`` / ``p = startof(arr)`` yields a
+    non-null pointer into in-scope storage (never poison), so the
+    NULL check on ``p`` is statically proven; ``startof`` of a sized
+    array additionally proves its bounds."""
+    src = strip_casts(exp)
+    if not isinstance(src, (E.AddrOf, E.StartOf)):
+        return
+    lv = src.lval
+    if not isinstance(lv.host, E.Var) or not _static_offsets(lv.offset):
+        return
+    dom.add_var_fact(facts, ("nonnull", var.vid), var)
+    dom.add_var_fact(facts, ("alive", var.vid), var)
+    if isinstance(src, E.StartOf):
+        n = _array_bytes(lv)
+        if n:
+            dom.add_var_fact(facts, ("inb", var.vid, n), var)
+
+
+def branch_facts(dom: FactDomain, facts: FactSet, cond: E.Exp,
+                 polarity: bool) -> None:
+    """Facts proven by taking the ``polarity`` edge of ``cond``:
+    ``if (p)`` / ``if (p != 0)`` true edges and ``if (!p)`` /
+    ``if (p == 0)`` false edges prove ``NonNull(p)``."""
+    e = strip_casts(cond)
+    if isinstance(e, E.UnOp) and e.op is E.UnopKind.LNOT:
+        branch_facts(dom, facts, e.e, not polarity)
+        return
+    if isinstance(e, E.BinOp) and e.op in (E.BinopKind.EQ,
+                                           E.BinopKind.NE):
+        tgt = None
+        if E.is_zero(e.e2):
+            tgt = e.e1
+        elif E.is_zero(e.e1):
+            tgt = e.e2
+        if tgt is not None and polarity == (e.op is E.BinopKind.NE):
+            _gen_nonnull(dom, facts, tgt)
+        return
+    if polarity:
+        _gen_nonnull(dom, facts, e)
+
+
+def _gen_nonnull(dom: FactDomain, facts: FactSet, e: E.Exp) -> None:
+    var = ptr_var(e)
+    if var is None or not T.is_pointer(var.type):
+        return
+    dom.add_var_fact(facts, ("nonnull", var.vid), var)
+
+
+def solve(cfg: CFG) -> Tuple[FactDomain, Dict[int, FactSet]]:
+    """Iterate the transfer functions to a fixpoint; returns the fact
+    domain and the in-set of every block (keyed by block id).
+
+    The analysis is optimistic-iterative: unvisited predecessors are
+    treated as top (the meet identity) until their out-sets are
+    computed, after which in-sets only shrink — the standard must-
+    dataflow schedule, which converges because the fact universe is
+    finite and all transfer functions are monotone.
+    """
+    dom = FactDomain()
+    order = cfg.rpo()
+    ins: Dict[int, Optional[FactSet]] = {b.bid: None
+                                         for b in cfg.blocks}
+    outs: Dict[int, Optional[FactSet]] = dict(ins)
+
+    def block_in(b: BasicBlock) -> Optional[FactSet]:
+        if b is cfg.entry or not b.preds:
+            return set()
+        acc: Optional[FactSet] = None
+        for e in b.preds:
+            src_out = outs[e.src.bid]
+            if src_out is None:
+                continue  # top: identity of the meet
+            contrib = set(src_out)
+            if e.cond is not None:
+                branch_facts(dom, contrib, e.cond, e.polarity)
+            acc = contrib if acc is None else (acc & contrib)
+        return acc
+
+    changed = True
+    while changed:
+        changed = False
+        for b in order:
+            new_in = block_in(b)
+            if new_in is None:
+                continue
+            if new_in != ins[b.bid] or outs[b.bid] is None:
+                ins[b.bid] = new_in
+                new_out = set(new_in)
+                for i in b.instrs:
+                    transfer_instr(dom, new_out, i)
+                if new_out != outs[b.bid]:
+                    outs[b.bid] = new_out
+                    changed = True
+
+    final: Dict[int, FactSet] = {
+        bid: (s if s is not None else set())
+        for bid, s in ins.items()}
+    return dom, final

@@ -1,0 +1,141 @@
+"""The flow-sensitive check eliminator.
+
+For each function: build the CFG, solve the must-dataflow to a
+fixpoint, then walk every block once more with the fixed in-set,
+deciding per :class:`~repro.cil.stmt.Check` whether the facts at that
+point prove it passes.  Proven checks are removed from the statement
+tree (blocks alias the tree's ``Instr`` objects, so removal is an
+identity-filter over each ``InstrStmt``).
+
+Removal rules — a check is removable when:
+
+* an identical check (same signature) is ``done`` on every path and
+  its operands are unwritten since — any kind;
+* ``CHECK_NULL(p)``: ``NonNull(p)`` **and** ``Alive(p)`` hold.
+  Non-nullness alone is not enough: the runtime's NULL check also
+  screens for dangling/poisoned pointers, which are non-null, so a
+  bare ``if (p)`` guard keeps the check unless ``p``'s provenance is
+  also proven (``p = &x``, or ``p`` passed a prior dereference
+  check);
+* ``CHECK_SEQ_BOUNDS`` / ``CHECK_FSEQ_BOUNDS`` / ``CHECK_SEQ_TO_SAFE``
+  of ``size`` bytes on ``p``: ``InBounds(p, n)`` holds with
+  ``n >= size``;
+* ``CHECK_RTTI_CAST`` against ``t`` on ``p``: ``Rtti(p, t)`` holds.
+
+Everything else (``CHECK_FUNPTR``, ``CHECK_INDEX``, WILD checks,
+stack-escape stores) is only ever removed through an identical
+``done`` check.
+
+The transfer function is applied identically whether or not a check
+is removed: a statically proven check still *would have passed*, so
+the facts it establishes hold at run time even though no code runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cil import stmt as S
+from repro.cil.program import GFun, Program
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import (FactDomain, FactSet, ptr_var,
+                                     solve, transfer_instr)
+from repro.core.optimize import _check_signature
+
+
+def _removable(facts: FactSet, c: S.Check) -> bool:
+    if ("done", _check_signature(c)) in facts:
+        return True
+    K = S.CheckKind
+    if c.kind is K.NULL:
+        v = ptr_var(c.args[0])
+        return (v is not None
+                and ("nonnull", v.vid) in facts
+                and ("alive", v.vid) in facts)
+    if c.kind in (K.SEQ_BOUNDS, K.FSEQ_BOUNDS, K.SEQ_TO_SAFE):
+        v = ptr_var(c.args[0])
+        if v is None:
+            return False
+        need = c.size or 1
+        return any(f[0] == "inb" and f[1] == v.vid and f[2] >= need
+                   for f in facts)
+    if c.kind is K.RTTI_CAST and c.rtti is not None:
+        v = ptr_var(c.args[0])
+        return (v is not None
+                and ("rtti", v.vid, repr(c.rtti)) in facts)
+    return False
+
+
+@dataclass
+class FunctionAnalysis:
+    """The flow analysis of one function, for elimination or stats."""
+
+    name: str
+    cfg: CFG
+    dom: FactDomain
+    removable: list = field(default_factory=list)  # list[S.Check]
+    n_checks: int = 0
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.cfg.blocks)
+
+    @property
+    def n_edges(self) -> int:
+        return self.cfg.n_edges
+
+    @property
+    def n_back_edges(self) -> int:
+        return self.cfg.n_back_edges
+
+    @property
+    def n_facts(self) -> int:
+        """Distinct facts generated anywhere in the function."""
+        return len(self.dom.deps)
+
+    @property
+    def n_removable(self) -> int:
+        return len(self.removable)
+
+
+def analyze_fundec(fd: S.Fundec) -> FunctionAnalysis:
+    """Analyze one function (read-only: the body is not rewritten)."""
+    cfg = build_cfg(fd)
+    dom, ins = solve(cfg)
+    fa = FunctionAnalysis(name=fd.name, cfg=cfg, dom=dom)
+    for b in cfg.blocks:
+        facts = set(ins[b.bid])
+        for i in b.instrs:
+            if isinstance(i, S.Check):
+                fa.n_checks += 1
+                if _removable(facts, i):
+                    fa.removable.append(i)
+            transfer_instr(dom, facts, i)
+    return fa
+
+
+def _prune_block(b: S.Block, drop: set) -> None:
+    for s in b.stmts:
+        if isinstance(s, S.InstrStmt):
+            s.instrs = [i for i in s.instrs if id(i) not in drop]
+        elif isinstance(s, S.Block):
+            _prune_block(s, drop)
+        elif isinstance(s, S.If):
+            _prune_block(s.then, drop)
+            _prune_block(s.els, drop)
+        elif isinstance(s, S.Loop):
+            _prune_block(s.body, drop)
+
+
+def eliminate_checks_flow(prog: Program) -> int:
+    """Remove every flow-provable check from ``prog``; returns the
+    count of checks removed."""
+    removed = 0
+    for g in prog.globals:
+        if isinstance(g, GFun):
+            fa = analyze_fundec(g.fundec)
+            if fa.removable:
+                drop = {id(c) for c in fa.removable}
+                _prune_block(g.fundec.body, drop)
+                removed += len(fa.removable)
+    return removed

@@ -126,10 +126,18 @@ def _options_key(options: Optional[CureOptions]) -> Optional[tuple]:
         return None
     parts = []
     for fld in _dc_fields(options):
+        if fld.name in ("optimize", "optimize_checks"):
+            # Folded into the single canonical level entry below, so a
+            # ``--optimize=none|local|flow`` sweep can never reuse a
+            # program cured at another level, and equivalent spellings
+            # (optimize_checks=False vs optimize="none") share one
+            # cache entry.
+            continue
         v = getattr(options, fld.name)
         if isinstance(v, (set, frozenset)):
             v = tuple(sorted(v))
         parts.append((fld.name, v))
+    parts.append(("optimize", options.optimize_level))
     return tuple(parts)
 
 

@@ -8,6 +8,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro run --raw prog.c       # uncured (hardware) run
     python -m repro bench NAME             # measure one workload
     python -m repro workloads              # list the benchmark suite
+    python -m repro analyze prog.c         # per-function CFG/dataflow
+                                           # and check-elimination stats
     python -m repro faults list            # list mutation classes
     python -m repro faults run --seed 1 --campaign smoke
                                            # fault-injection campaign
@@ -24,6 +26,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core import CureOptions, cure
+from repro.core.options import OPTIMIZE_LEVELS
 from repro.frontend import parse_program
 from repro.interp import ENGINES, run_cured, run_raw
 from repro.runtime.checks import (MemorySafetyError, ProgramAbort,
@@ -37,13 +40,21 @@ def _read_source(path: str) -> str:
         return f.read()
 
 
+def _optimize_level(args: argparse.Namespace) -> Optional[str]:
+    # --no-optimize is the historical spelling of --optimize=none and
+    # wins when both are given.
+    if getattr(args, "no_optimize", False):
+        return "none"
+    return getattr(args, "optimize", None)
+
+
 def _options(args: argparse.Namespace) -> CureOptions:
     return CureOptions(
         use_physical=not args.no_physical,
         use_rtti=not args.no_rtti,
         trust_bad_casts=args.trust_bad_casts,
         all_split=args.all_split,
-        optimize_checks=not args.no_optimize,
+        optimize=_optimize_level(args),
     )
 
 
@@ -63,7 +74,13 @@ def _add_cure_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--all-split", action="store_true",
                    help="use the compatible representation everywhere")
     p.add_argument("--no-optimize", action="store_true",
-                   help="keep redundant checks")
+                   help="keep redundant checks "
+                        "(alias for --optimize=none)")
+    p.add_argument("--optimize", choices=OPTIMIZE_LEVELS,
+                   default=None, metavar="LEVEL",
+                   help="check-elimination level: none, local "
+                        "(straight-line), or flow (whole-function "
+                        "dataflow, the default)")
     p.add_argument("-I", "--include", action="append", default=[],
                    metavar="DIR", help="extra include directory")
 
@@ -145,6 +162,58 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import (analyze_cured, analyze_source,
+                                render_table)
+    reports = []
+    if args.all_workloads or args.workload:
+        from repro.bench.harness import pristine_parse
+        from repro.workloads import all_workloads, get
+        if args.all_workloads:
+            selected = list(all_workloads())
+        else:
+            try:
+                selected = [get(args.workload)]
+            except KeyError:
+                print(f"unknown workload {args.workload!r} "
+                      "(see `python -m repro workloads`)",
+                      file=sys.stderr)
+                return 2
+        import copy
+
+        from repro.core.options import CureOptions as _CO
+        for w in selected:
+            prog = copy.deepcopy(pristine_parse(w, args.scale))
+            cured = cure(prog, options=_CO(optimize="none"),
+                         name=w.name)
+            reports.append(analyze_cured(cured))
+    else:
+        if not args.file:
+            print("analyze: give a FILE, --workload NAME or "
+                  "--all-workloads", file=sys.stderr)
+            return 2
+        reports.append(analyze_source(
+            _read_source(args.file), name=args.file,
+            include_dirs=args.include or None))
+    if args.json:
+        payload = reports[0] if len(reports) == 1 else reports
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as f:
+                f.write(text + "\n")
+            print(f"stats written to {args.json}", file=sys.stderr)
+    else:
+        for i, r in enumerate(reports):
+            if i:
+                print()
+            print(render_table(r))
+    return 0
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults import (CAMPAIGNS, MUTATORS, report_to_json,
                               report_to_markdown, run_campaign)
@@ -163,6 +232,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         report = run_campaign(
             args.seed, args.campaign, workloads=workloads,
             classes=classes, scale=args.scale,
+            optimize=args.optimize,
             progress=(None if args.quiet
                       else lambda line: print(line,
                                               file=sys.stderr)))
@@ -220,6 +290,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flag(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
+    p_an = sub.add_parser(
+        "analyze",
+        help="per-function CFG, dataflow-fact and check-elimination "
+             "statistics")
+    p_an.add_argument("file", nargs="?", default=None,
+                      help="a C file to analyze")
+    p_an.add_argument("--workload", default=None, metavar="NAME",
+                      help="analyze one benchmark workload instead")
+    p_an.add_argument("--all-workloads", action="store_true",
+                      help="analyze every benchmark workload")
+    p_an.add_argument("--scale", type=int, default=None,
+                      help="workload problem size")
+    p_an.add_argument("--json", default=None, metavar="PATH",
+                      help="write JSON stats here ('-' for stdout)")
+    p_an.add_argument("-I", "--include", action="append", default=[],
+                      metavar="DIR", help="extra include directory")
+    p_an.set_defaults(fn=cmd_analyze)
+
     p_faults = sub.add_parser(
         "faults", help="seeded fault-injection campaigns")
     fsub = p_faults.add_subparsers(dest="faults_command",
@@ -243,6 +331,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_frun.add_argument("--json", default=None, metavar="PATH",
                         help="write the JSON report here")
     p_frun.add_argument("--scale", type=int, default=None)
+    p_frun.add_argument("--optimize", choices=OPTIMIZE_LEVELS,
+                        default=None, metavar="LEVEL",
+                        help="check-elimination level of the cured "
+                             "side (none, local, flow)")
     p_frun.add_argument("--quiet", action="store_true",
                         help="suppress per-variant progress lines")
     p_frun.set_defaults(fn=cmd_faults)

@@ -44,6 +44,8 @@ class CuredProgram:
         self.check_counts = check_counts
         #: checks dropped by redundant-check elimination
         self.checks_removed = 0
+        #: the check-elimination level the pipeline actually ran
+        self.optimize_level = "none"
 
     # -- conveniences ------------------------------------------------------
 
@@ -119,9 +121,14 @@ def cure(source: Union[str, Program],
     split = infer_split(analysis)
     checks = instrument(analysis)
     cured = CuredProgram(prog, analysis, solved, split, checks)
-    if opts.checks and opts.optimize_checks:
+    level = opts.optimize_level if opts.checks else "none"
+    cured.optimize_level = level
+    if level == "local":
         from repro.core.optimize import eliminate_redundant_checks
         cured.checks_removed = eliminate_redundant_checks(prog)
+    elif level == "flow":
+        from repro.analysis import eliminate_checks_flow
+        cured.checks_removed = eliminate_checks_flow(prog)
     _number_check_sites(prog)
     return cured
 

@@ -52,7 +52,12 @@ def _vars_of_exp(e: E.Exp, out: set[int]) -> bool:
         return m1 or m2
     if isinstance(e, E.CastE):
         return _vars_of_exp(e.e, out)
-    return False
+    if isinstance(e, (E.Const, E.StrConst, E.SizeOfT)):
+        return False
+    # Unknown expression kind: assume it can read anything, so the
+    # facts/checks depending on it die at every write.  A new Exp
+    # subclass must be handled above before it can be treated as pure.
+    return True
 
 
 def _vars_of_lval(lv: E.Lval, out: set[int], *,
@@ -153,8 +158,16 @@ def _do_instrs(s: S.InstrStmt) -> int:
         if isinstance(instr, S.Set):
             if isinstance(instr.lval.host, E.Var) and isinstance(
                     instr.lval.offset, E.NoOffset):
-                cache.invalidate_var(instr.lval.host.var.vid)
+                var = instr.lval.host.var
+                cache.invalidate_var(var.vid)
+                # A global or address-taken variable is also readable
+                # through memory (an alias or another name), so any
+                # memory-reading check may have observed it.
+                if var.is_global or var.address_taken:
+                    cache.invalidate_memory()
             else:
+                if isinstance(instr.lval.host, E.Var):
+                    cache.invalidate_var(instr.lval.host.var.vid)
                 cache.invalidate_memory()
             out.append(instr)
             continue

@@ -19,6 +19,14 @@ The flags mirror the paper's ablations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
+#: check-elimination levels, weakest to strongest:
+#: ``none`` keeps every emitted check, ``local`` removes repeats
+#: within a straight-line instruction run (the seed behaviour, kept
+#: as a differential oracle), ``flow`` runs the whole-function
+#: must-dataflow eliminator of :mod:`repro.analysis`.
+OPTIMIZE_LEVELS = ("none", "local", "flow")
 
 
 @dataclass
@@ -35,11 +43,30 @@ class CureOptions:
     #: run-time checking enabled (False measures pure representation
     #: overhead; the paper always checks).
     checks: bool = True
-    #: remove locally redundant checks (CCured "statically removes
-    #: checks"; False measures the unoptimized instrumentation).
+    #: remove redundant checks (CCured "statically removes checks";
+    #: False measures the unoptimized instrumentation).  Kept for
+    #: backward compatibility — prefer ``optimize``.
     optimize_checks: bool = True
+    #: check-elimination level (see :data:`OPTIMIZE_LEVELS`).  When
+    #: None, derived from ``optimize_checks``: True means the default
+    #: ``flow``, False means ``none``.
+    optimize: Optional[str] = None
     #: names of variables/fields the user annotated SPLIT
     #: (``#pragma ccuredSplit("name")`` also feeds this).
     split_roots: set[str] = field(default_factory=set)
     #: names of variables/fields to force WILD (for tests/ablations).
     wild_roots: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.optimize is not None \
+                and self.optimize not in OPTIMIZE_LEVELS:
+            raise ValueError(
+                f"optimize must be one of {OPTIMIZE_LEVELS}, "
+                f"got {self.optimize!r}")
+
+    @property
+    def optimize_level(self) -> str:
+        """The effective check-elimination level."""
+        if self.optimize is not None:
+            return self.optimize
+        return "flow" if self.optimize_checks else "none"

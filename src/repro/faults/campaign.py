@@ -98,6 +98,9 @@ class CampaignReport:
     campaign: str
     scale: Optional[int]
     classes: tuple[str, ...]
+    #: check-elimination level of the cured runs (None = the
+    #: pipeline default)
+    optimize: Optional[str] = None
     variants: list[VariantReport] = field(default_factory=list)
 
     @property
@@ -120,6 +123,7 @@ class CampaignReport:
     def to_json(self) -> dict:
         return {"seed": self.seed, "campaign": self.campaign,
                 "scale": self.scale, "classes": list(self.classes),
+                "optimize": self.optimize,
                 "summary": {"injected": self.injected,
                             "caught": self.caught,
                             "engines_agree": self.agreed,
@@ -155,8 +159,14 @@ def _classify(run: Callable[[], object], tool: str) -> RunOutcome:
 def run_variant(w: Workload, spec: FaultSpec, *,
                 scale: Optional[int] = None,
                 engines: Sequence[str] = ("closures", "tree"),
+                optimize: Optional[str] = None,
                 ) -> VariantReport:
-    """Cure and execute one attack variant under every engine + raw."""
+    """Cure and execute one attack variant under every engine + raw.
+
+    ``optimize`` selects the check-elimination level of the cured
+    side; the campaign's contract is that the level never changes
+    which faults are caught or the failure records they produce.
+    """
     report = VariantReport(
         workload=w.name, mclass=spec.mclass,
         expected=spec.expected.__name__,
@@ -165,12 +175,13 @@ def run_variant(w: Workload, spec: FaultSpec, *,
     base = copy.deepcopy(pristine_parse(w, scale))
     graft(base, spec, name=f"{w.name}+{spec.mclass}")
     raw_prog = copy.deepcopy(base)
-    # Variants always cure with default options: trusting the
-    # workload's bad casts (bind_like) would also trust the *injected*
-    # evil casts and neuter the attack.  The injected fault executes
-    # at main entry, before any workload code whose kinds the stricter
-    # options might change can run.
-    cured = cure(base, options=CureOptions(),
+    # Variants always cure with default options (modulo the
+    # elimination level): trusting the workload's bad casts
+    # (bind_like) would also trust the *injected* evil casts and
+    # neuter the attack.  The injected fault executes at main entry,
+    # before any workload code whose kinds the stricter options might
+    # change can run.
+    cured = cure(base, options=CureOptions(optimize=optimize),
                  name=f"{w.name}+{spec.mclass}")
 
     args = list(w.args) or None
@@ -212,6 +223,7 @@ def run_campaign(seed: int, campaign: str = "smoke", *,
                  classes: Optional[Sequence[str]] = None,
                  scale: Optional[int] = None,
                  engines: Sequence[str] = ("closures", "tree"),
+                 optimize: Optional[str] = None,
                  progress: Optional[Callable[[str], None]] = None,
                  ) -> CampaignReport:
     """Run a named campaign: every mutation class against every
@@ -232,12 +244,14 @@ def run_campaign(seed: int, campaign: str = "smoke", *,
             raise KeyError(f"unknown mutation class {m!r}")
 
     report = CampaignReport(seed=seed, campaign=campaign,
-                            scale=scale, classes=mclasses)
+                            scale=scale, classes=mclasses,
+                            optimize=optimize)
     for name in names:
         w = get(name)
         for mclass in mclasses:
             spec = make_variant(w.name, mclass, seed)
-            vr = run_variant(w, spec, scale=scale, engines=engines)
+            vr = run_variant(w, spec, scale=scale, engines=engines,
+                             optimize=optimize)
             report.variants.append(vr)
             if progress is not None:
                 flag = "caught" if vr.caught else "MISSED"

@@ -85,6 +85,12 @@ class ExecResult:
     def cycles(self) -> int:
         return self.cost.total
 
+    @property
+    def checks_executed(self) -> int:
+        """Run-time checks this execution actually performed —
+        statically elided checks cost nothing and are not counted."""
+        return self.cost.checks_executed()
+
     def __repr__(self) -> str:
         e = f", error={type(self.error).__name__}" if self.error else ""
         return (f"<exit {self.status}, {self.steps} steps, "

@@ -126,6 +126,19 @@ class CostModel:
         self.cycles += CHECK_COSTS.get(kind, 1)
         self.events[f"check:{kind.value}"] += 1
 
+    def check_events(self) -> Counter:
+        """Executed run-time checks by kind (the dynamic counterpart
+        of ``CuredProgram.check_counts``: statically elided checks
+        never appear here)."""
+        return Counter({k.split(":", 1)[1]: v
+                        for k, v in self.events.items()
+                        if k.startswith("check:")})
+
+    def checks_executed(self) -> int:
+        """Total run-time checks actually executed."""
+        return sum(v for k, v in self.events.items()
+                   if k.startswith("check:"))
+
     def charge_wide(self, kind_name: str) -> None:
         extra = WIDE_EXTRA_WORDS.get(kind_name, 0)
         if extra:

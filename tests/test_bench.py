@@ -86,6 +86,33 @@ class TestTables:
 
 
 class TestHarness:
+    def test_options_key_distinguishes_optimize_levels(self):
+        # A ``--optimize=none|local|flow`` sweep must never reuse a
+        # program cured at another level…
+        from repro.bench.harness import _options_key
+        from repro.core import CureOptions
+        keys = {lvl: _options_key(CureOptions(optimize=lvl))
+                for lvl in ("none", "local", "flow")}
+        assert len(set(keys.values())) == 3
+        # …while equivalent spellings share one cache entry.
+        assert _options_key(CureOptions()) == \
+            _options_key(CureOptions(optimize="flow"))
+        assert _options_key(CureOptions(optimize_checks=False)) == \
+            _options_key(CureOptions(optimize="none"))
+        assert _options_key(None) is None
+
+    def test_pristine_cure_not_stale_across_levels(self):
+        from repro.bench import pristine_cure
+        from repro.core import CureOptions
+        w = get("olden_em3d")
+        by_level = {lvl: pristine_cure(
+            w, options=CureOptions(optimize=lvl), scale=2)
+            for lvl in ("none", "local", "flow")}
+        assert by_level["none"].checks_removed == 0
+        assert by_level["flow"].checks_removed > \
+            by_level["local"].checks_removed > 0
+        assert len({id(c) for c in by_level.values()}) == 3
+
     def test_run_workload_shapes(self):
         row = run_workload(get("olden_bisort"),
                            tools=("ccured",), scale=3)

@@ -45,6 +45,16 @@ class TestCure:
         assert main(["cure", hello_c, "--report", "--no-rtti",
                      "--no-physical", "--no-optimize"]) == 0
 
+    def test_optimize_level_flag(self, hello_c, capsys):
+        for level in ("none", "local", "flow"):
+            assert main(["cure", hello_c, "--report",
+                         "--optimize", level]) == 0
+            capsys.readouterr()
+
+    def test_bad_optimize_level_rejected(self, hello_c):
+        with pytest.raises(SystemExit):
+            main(["cure", hello_c, "--optimize", "super"])
+
 
 class TestRun:
     def test_run_ok(self, hello_c, capsys):
@@ -69,6 +79,31 @@ class TestRun:
         p = tmp_path / "seven.c"
         p.write_text("int main(void) { return 7; }")
         assert main(["run", str(p)]) == 7
+
+
+class TestAnalyze:
+    def test_analyze_file_table(self, hello_c, capsys):
+        assert main(["analyze", hello_c]) == 0
+        out = capsys.readouterr().out
+        assert "elided_flow" in out and "TOTAL" in out
+
+    def test_analyze_workload_json(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "stats.json"
+        assert main(["analyze", "--workload", "olden_power",
+                     "--scale", "2", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["program"] == "olden_power"
+        totals = data["totals"]
+        assert totals["checks"] >= totals["elided_flow"] \
+            >= totals["elided_local"] >= 0
+        assert totals["blocks"] > 0 and totals["edges"] > 0
+
+    def test_analyze_unknown_workload(self, capsys):
+        assert main(["analyze", "--workload", "nope"]) == 2
+
+    def test_analyze_without_target(self, capsys):
+        assert main(["analyze"]) == 2
 
 
 class TestBenchAndWorkloads:

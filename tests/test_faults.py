@@ -93,6 +93,36 @@ def test_campaign_summary_counts():
                              "engines_agree": 2, "ok": True}
 
 
+@pytest.mark.parametrize("mclass", list(MUTATORS), ids=lambda m: m)
+def test_flow_optimized_variant_still_traps(mclass):
+    """Flow-sensitive elimination must never remove the check that
+    catches an injected fault: same class, same record as the local
+    level — except the site id, which is numbered over *surviving*
+    checks and so shifts when more are elided."""
+    w = get("olden_power")
+    spec = make_variant(w.name, mclass, SEED)
+    by_level = {lvl: run_variant(w, spec, scale=2, optimize=lvl)
+                for lvl in ("local", "flow")}
+    assert by_level["flow"].caught, by_level["flow"].to_json()
+    assert by_level["flow"].engines_agree
+    for rl, rf in zip(by_level["local"].runs, by_level["flow"].runs):
+        if not rl.tool.startswith("cured:"):
+            continue
+        assert (rl.outcome, rl.error) == (rf.outcome, rf.error)
+        fl = dict(rl.failure)
+        ff = dict(rf.failure)
+        fl.pop("site"), ff.pop("site")
+        assert fl == ff, (mclass, rl.tool)
+
+
+def test_campaign_json_records_optimize_level():
+    r = run_campaign(SEED, "smoke", workloads=["olden_power"],
+                     classes=["null-deref"], scale=2,
+                     optimize="flow")
+    assert r.ok
+    assert r.to_json()["optimize"] == "flow"
+
+
 def test_raw_runs_differ_from_cured():
     # The differential: at least the null-deref raw run must NOT trap
     # with a MemorySafetyError — it takes the hardware fault instead.

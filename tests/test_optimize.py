@@ -1,4 +1,11 @@
-"""Unit tests for redundant-check elimination."""
+"""Unit tests for straight-line redundant-check elimination.
+
+These exercise the ``local`` level (the within-InstrStmt pass of
+``core/optimize.py``); the count assertions pin ``optimize="local"``
+explicitly because the default ``flow`` level eliminates strictly
+more (e.g. every check here whose pointer has ``&x`` provenance).
+The flow-sensitive pass has its own suite in ``test_analysis.py``.
+"""
 
 from helpers import cure_src
 
@@ -40,7 +47,7 @@ class TestElimination:
           int b = *p;
           return a + b;
         }
-        """)
+        """, optimize="local")
         # Two NULL checks survive: one per distinct p value.
         assert count_printed_checks(cured, "CHECK_NULL") == 2
 
@@ -56,7 +63,7 @@ class TestElimination:
           int b = *p;
           return a + b;
         }
-        """)
+        """, optimize="local")
         assert count_printed_checks(cured, "CHECK_NULL") >= 2
 
     def test_memory_write_keeps_register_checks(self):
@@ -69,7 +76,7 @@ class TestElimination:
           p->b = 2;        /* the second NULL check is redundant */
           return 0;
         }
-        """)
+        """, optimize="local")
         assert count_printed_checks(cured, "CHECK_NULL") == 1
 
     def test_seq_bounds_deduplicated(self):
@@ -129,6 +136,43 @@ class TestElimination:
             src, options=CureOptions(optimize_checks=False), name="b"))
         assert r_opt.status == r_no.status == 6
         assert r_opt.cycles <= r_no.cycles
+
+    def test_aliased_write_invalidates_memory_checks(self):
+        """``p = 0`` through an address-taken variable must kill the
+        remembered ``CHECK_NULL(*pp)`` (its value is read through
+        memory), or the second dereference goes unchecked."""
+        import pytest
+        from repro.runtime.checks import NullDereferenceError
+        cured = cure_src("""
+        int main(void) {
+          int x = 1;
+          int *p = &x;
+          int **pp = &p;
+          int a = **pp;
+          p = 0;           /* aliases *pp: memory checks must die */
+          int b = **pp;
+          return a + b;
+        }
+        """, optimize="local")
+        src = cured.to_c()
+        # The CHECK_NULL(pp) repeat is elided; the *pp one is not.
+        assert src.count("__CHECK_NULL((*pp))") == 2
+        with pytest.raises(NullDereferenceError):
+            run_cured(cured)
+
+    def test_vars_of_exp_unknown_kind_is_conservative(self):
+        """A new Exp subclass the walker does not know must be
+        treated as memory-reading, never silently pure."""
+        from repro.cil import expr as E
+        from repro.core.optimize import _vars_of_exp
+
+        class FancyExp(E.Exp):
+            pass
+
+        out: set[int] = set()
+        assert _vars_of_exp(FancyExp(), out) is True
+        # The known leaf kinds stay pure.
+        assert _vars_of_exp(E.Const(1), out) is False
 
     def test_safety_still_enforced_after_elimination(self):
         import pytest
