@@ -130,12 +130,15 @@ def _prune_block(b: S.Block, drop: set) -> None:
 def eliminate_checks_flow(prog: Program) -> int:
     """Remove every flow-provable check from ``prog``; returns the
     count of checks removed."""
+    from repro.obs.tracer import TRACER
     removed = 0
-    for g in prog.globals:
-        if isinstance(g, GFun):
-            fa = analyze_fundec(g.fundec)
-            if fa.removable:
-                drop = {id(c) for c in fa.removable}
-                _prune_block(g.fundec.body, drop)
-                removed += len(fa.removable)
+    with TRACER.span("dataflow", program=prog.name) as sp:
+        for g in prog.globals:
+            if isinstance(g, GFun):
+                fa = analyze_fundec(g.fundec)
+                if fa.removable:
+                    drop = {id(c) for c in fa.removable}
+                    _prune_block(g.fundec.body, drop)
+                    removed += len(fa.removable)
+        sp.set(removed=removed)
     return removed

@@ -19,10 +19,12 @@ deep-copies a cached tree on every use — same isolation, a fraction
 of the cost.  All measurements are deterministic (the cost model is
 exact), so a table regenerates identically on every run; the harness
 exploits the same determinism to memoize whole *measurements*: a
-``(workload, scale, options, engine, max_steps, tool)`` run yields the
-same ``(cycles, status, steps, stdout)`` every time, so repeat
-requests across table tests are answered from ``_RESULT_CACHE``
-instead of re-interpreting the program.  Executions themselves run on
+``(workload, scale, engine, max_steps, tool, optimize-level,
+options)`` run (see :func:`_result_key` — the engine and the
+check-elimination level are always explicit in the key) yields the
+same ``(cycles, status, steps, stdout, checks)`` every time, so
+repeat requests across table tests are answered from
+``_RESULT_CACHE`` instead of re-interpreting the program.  Executions themselves run on
 the pristine cached trees — interpretation never mutates the IR (the
 interpreter only stamps idempotent per-``Varinfo``/type caches), so
 no defensive copy is needed for a measurement, and the closure
@@ -54,6 +56,8 @@ class ToolRun:
     status: int
     steps: int
     stdout: str = ""
+    #: run-time checks actually executed (0 for raw/baseline runs)
+    checks: int = 0
 
     def ratio(self, base: "ToolRun") -> float:
         """Cycle ratio against ``base``; NaN when the base run did no
@@ -114,8 +118,9 @@ def count_lines(source: str) -> int:
 _SOURCE_CACHE: dict[str, str] = {}
 _PARSE_CACHE: dict[tuple, Program] = {}
 _CURE_CACHE: dict[tuple, CuredProgram] = {}
-#: memoized measurements: key -> (cycles, status, steps, stdout)
-_RESULT_CACHE: dict[tuple, tuple[int, int, int, str]] = {}
+#: memoized measurements:
+#: key -> (cycles, status, steps, stdout, checks executed)
+_RESULT_CACHE: dict[tuple, tuple[int, int, int, str, int]] = {}
 
 
 def _options_key(options: Optional[CureOptions]) -> Optional[tuple]:
@@ -200,12 +205,28 @@ def clear_program_cache() -> None:
     _RESULT_CACHE.clear()
 
 
+def _result_key(w: Workload, scale: Optional[int], engine: str,
+                max_steps: int, tool: str,
+                options: Optional[CureOptions]) -> tuple:
+    """The memoization key of one measurement — every dimension that
+    can change the numbers, explicit in one place.  The engine name
+    and the check-elimination level are always present, so a
+    closures-vs-tree or a none/local/flow sweep can never reuse a
+    stale cached result; the full options identity rides along for
+    the remaining cure flags."""
+    level = (options.optimize_level if options is not None
+             else CureOptions().optimize_level)
+    return (w.name, scale if scale is not None else w.scale,
+            engine, max_steps, tool, level, _options_key(options))
+
+
 def _measure(key: tuple, tool: str, runner) -> ToolRun:
     """A memoized measurement; ``runner`` executes on a cache miss."""
     got = _RESULT_CACHE.get(key)
     if got is None:
         res: ExecResult = runner()
-        got = (res.cycles, res.status, res.steps, res.stdout)
+        got = (res.cycles, res.status, res.steps, res.stdout,
+               res.checks_executed)
         _RESULT_CACHE[key] = got
     return ToolRun(tool, *got)
 
@@ -219,10 +240,8 @@ def run_workload(w: Workload, *,
     """Run one workload under raw + the requested tools."""
     src = cached_source(w)
     args = list(w.args) or None
-    base = (w.name, scale if scale is not None else w.scale,
-            engine, max_steps)
     raw = _measure(
-        base + ("raw",), "raw",
+        _result_key(w, scale, engine, max_steps, "raw", None), "raw",
         lambda: run_raw(pristine_parse(w, scale), args=args,
                         stdin=w.stdin, max_steps=max_steps,
                         engine=engine))
@@ -240,19 +259,22 @@ def run_workload(w: Workload, *,
     )
     if "ccured" in tools:
         row.ccured = _measure(
-            base + ("ccured", _options_key(options)), "ccured",
+            _result_key(w, scale, engine, max_steps, "ccured",
+                        options), "ccured",
             lambda: run_cured(cured, args=args, stdin=w.stdin,
                               max_steps=max_steps, engine=engine))
         _assert_same_behaviour(w.name, raw, row.ccured)
     if "purify" in tools:
         row.purify = _measure(
-            base + ("purify",), "purify",
+            _result_key(w, scale, engine, max_steps, "purify", None),
+            "purify",
             lambda: run_raw(pristine_parse(w, scale), args=args,
                             stdin=w.stdin, shadow=PurifyChecker(),
                             max_steps=max_steps, engine=engine))
     if "valgrind" in tools:
         row.valgrind = _measure(
-            base + ("valgrind",), "valgrind",
+            _result_key(w, scale, engine, max_steps, "valgrind",
+                        None), "valgrind",
             lambda: run_raw(pristine_parse(w, scale), args=args,
                             stdin=w.stdin, shadow=ValgrindChecker(),
                             max_steps=max_steps, engine=engine))

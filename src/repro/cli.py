@@ -13,6 +13,12 @@ Usage (also available as ``python -m repro``)::
     python -m repro faults list            # list mutation classes
     python -m repro faults run --seed 1 --campaign smoke
                                            # fault-injection campaign
+    python -m repro metrics --all-workloads --json
+                                           # deterministic pipeline
+                                           # metrics (checks, kinds,
+                                           # per-site histograms)
+    python -m repro metrics diff --baseline old.json --fail-on-regress
+                                           # CI regression gate
 
 The exit status of ``run`` is the program's exit status; memory-safety
 failures exit with status 99 after printing the check that fired,
@@ -247,6 +253,84 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if report.ok else 2
 
 
+def _select_workloads(names: Optional[str], all_workloads: bool):
+    """Resolve a ``--workload a,b``/``--all-workloads`` selection."""
+    from repro.workloads import all_workloads as _all, get
+    if all_workloads:
+        return list(_all())
+    selected = []
+    for name in (names or "").split(","):
+        name = name.strip()
+        if not name:
+            continue
+        selected.append(get(name))  # KeyError -> caller reports
+    return selected
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import (Thresholds, collect_metrics, diff_reports,
+                           load_json, render_diff, render_report,
+                           write_json)
+
+    if getattr(args, "metrics_command", None) == "diff":
+        baseline = load_json(args.baseline)
+        if args.current:
+            current = load_json(args.current)
+        else:
+            # Collect a fresh report under the baseline's own
+            # configuration, over the full suite (so brand-new
+            # workloads surface as notes).
+            from repro.workloads import all_workloads
+            report = collect_metrics(
+                list(all_workloads()),
+                engine=baseline.get("engine", "closures"),
+                optimize=baseline.get("optimize"),
+                scale=baseline.get("scale"),
+                progress=(None if args.quiet else
+                          lambda line: print(line, file=sys.stderr)))
+            current = report.to_json()
+        res = diff_reports(baseline, current, Thresholds(
+            checks_pct=args.max_checks_pct,
+            cycles_pct=args.max_cycles_pct,
+            elided_drop=args.max_elided_drop,
+            phase_pct=args.max_phase_pct))
+        print(render_diff(res, verbose=args.verbose))
+        if not res.ok:
+            if args.fail_on_regress:
+                print("metrics diff: regression gate FAILED",
+                      file=sys.stderr)
+                return 2
+            return 1
+        return 0
+
+    # run mode: collect and emit a report
+    try:
+        selected = _select_workloads(args.workload,
+                                     args.all_workloads)
+    except KeyError as exc:
+        print(f"unknown workload {exc.args[0]!r} "
+              "(see `python -m repro workloads`)", file=sys.stderr)
+        return 2
+    if not selected:
+        print("metrics: give --workload NAME[,NAME...] or "
+              "--all-workloads", file=sys.stderr)
+        return 2
+    report = collect_metrics(
+        selected, engine=args.engine, optimize=args.optimize,
+        scale=args.scale, timing=args.timing,
+        progress=(None if (args.quiet or not args.json) else
+                  lambda line: print(line, file=sys.stderr)))
+    if args.json:
+        write_json(report.to_json(include_timing=args.timing),
+                   args.json)
+        if args.json != "-":
+            print(f"metrics written to {args.json}",
+                  file=sys.stderr)
+    else:
+        print(render_report(report, top_sites=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -307,6 +391,73 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("-I", "--include", action="append", default=[],
                       metavar="DIR", help="extra include directory")
     p_an.set_defaults(fn=cmd_analyze)
+
+    p_met = sub.add_parser(
+        "metrics",
+        help="pipeline observability: per-phase timings, check-site "
+             "histograms, pointer-kind distributions, and regression "
+             "diffs")
+    p_met.add_argument("--workload", default=None, metavar="NAMES",
+                       help="comma list of workloads to measure")
+    p_met.add_argument("--all-workloads", action="store_true",
+                       help="measure every benchmark workload")
+    p_met.add_argument("--scale", type=int, default=None,
+                       help="workload problem size")
+    p_met.add_argument("--optimize", choices=OPTIMIZE_LEVELS,
+                       default=None, metavar="LEVEL",
+                       help="check-elimination level (default: flow)")
+    p_met.add_argument("--json", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="emit deterministic JSON (to PATH, or "
+                            "stdout when no PATH is given)")
+    p_met.add_argument("--timing", action="store_true",
+                       help="also collect per-phase wall times "
+                            "(non-deterministic; excluded from the "
+                            "regression gate)")
+    p_met.add_argument("--top", type=int, default=5, metavar="N",
+                       help="hottest check sites listed per workload "
+                            "in table output")
+    p_met.add_argument("--quiet", action="store_true",
+                       help="suppress per-workload progress lines")
+    _add_engine_flag(p_met)
+    p_met.set_defaults(fn=cmd_metrics, metrics_command=None)
+    msub = p_met.add_subparsers(dest="metrics_command")
+    p_mdiff = msub.add_parser(
+        "diff",
+        help="compare a metrics report against a baseline and gate "
+             "on regressions")
+    p_mdiff.add_argument("--baseline", required=True, metavar="PATH",
+                         help="the committed baseline report")
+    p_mdiff.add_argument("--current", default=None, metavar="PATH",
+                         help="a freshly collected report (omitted: "
+                              "collect one now under the baseline's "
+                              "configuration)")
+    p_mdiff.add_argument("--fail-on-regress", action="store_true",
+                         help="exit 2 on any regression (the CI "
+                              "gate); without this, regressions "
+                              "still exit 1")
+    p_mdiff.add_argument("--max-checks-pct", type=float, default=0.0,
+                         metavar="PCT",
+                         help="allowed %% growth in checks executed "
+                              "or surviving per workload (default 0)")
+    p_mdiff.add_argument("--max-cycles-pct", type=float, default=0.0,
+                         metavar="PCT",
+                         help="allowed %% growth in cured cycles per "
+                              "workload (default 0)")
+    p_mdiff.add_argument("--max-elided-drop", type=int, default=0,
+                         metavar="N",
+                         help="allowed drop in statically elided "
+                              "checks per workload (default 0)")
+    p_mdiff.add_argument("--max-phase-pct", type=float, default=50.0,
+                         metavar="PCT",
+                         help="allowed %% growth in per-phase wall "
+                              "time when both reports carry timings")
+    p_mdiff.add_argument("--verbose", action="store_true",
+                         help="print improvements and notes, not "
+                              "just regressions")
+    p_mdiff.add_argument("--quiet", action="store_true",
+                         help="suppress collection progress lines")
+    p_mdiff.set_defaults(fn=cmd_metrics)
 
     p_faults = sub.add_parser(
         "faults", help="seeded fault-injection campaigns")

@@ -24,6 +24,7 @@ from repro.cil.program import Program
 from repro.core.casts import CastCensus
 from repro.core.constraints import Analysis, generate
 from repro.core.options import CureOptions
+from repro.obs.tracer import TRACER
 from repro.core.qualifiers import PointerKind
 from repro.core.rtti import RttiHierarchy
 from repro.core.solver import SolveResult, solve
@@ -116,20 +117,29 @@ def cure(source: Union[str, Program],
     else:
         prog = source
     opts = options if options is not None else CureOptions()
-    analysis = generate(prog, opts)
-    solved = solve(analysis)
-    split = infer_split(analysis)
-    checks = instrument(analysis)
-    cured = CuredProgram(prog, analysis, solved, split, checks)
     level = opts.optimize_level if opts.checks else "none"
-    cured.optimize_level = level
-    if level == "local":
-        from repro.core.optimize import eliminate_redundant_checks
-        cured.checks_removed = eliminate_redundant_checks(prog)
-    elif level == "flow":
-        from repro.analysis import eliminate_checks_flow
-        cured.checks_removed = eliminate_checks_flow(prog)
-    _number_check_sites(prog)
+    with TRACER.span("cure", name=name, optimize=level):
+        with TRACER.span("constraints"):
+            analysis = generate(prog, opts)
+        with TRACER.span("solve"):
+            solved = solve(analysis)
+        with TRACER.span("split"):
+            split = infer_split(analysis)
+        with TRACER.span("instrument"):
+            checks = instrument(analysis)
+        cured = CuredProgram(prog, analysis, solved, split, checks)
+        cured.optimize_level = level
+        if level == "local":
+            from repro.core.optimize import \
+                eliminate_redundant_checks
+            with TRACER.span("optimize", level="local"):
+                cured.checks_removed = \
+                    eliminate_redundant_checks(prog)
+        elif level == "flow":
+            from repro.analysis import eliminate_checks_flow
+            with TRACER.span("optimize", level="flow"):
+                cured.checks_removed = eliminate_checks_flow(prog)
+        _number_check_sites(prog)
     return cured
 
 

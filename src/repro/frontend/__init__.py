@@ -30,13 +30,18 @@ def parse_files(sources: Sequence[tuple[str, str]], name: str = "program",
                 defines: Optional[Mapping[str, str]] = None) -> Program:
     """Parse and link several ``(filename, source)`` translation units
     into one whole program, as CCured's whole-program analysis requires."""
-    lowerer = Lowerer(name=name)
-    parser = c_parser.CParser()
-    for filename, source in sources:
-        text = preprocess(source, filename=filename,
-                          include_dirs=include_dirs, defines=defines)
-        # pycparser chokes on #pragma lines at certain positions only if
-        # malformed; ours are kept verbatim and parsed as Pragma nodes.
-        ast = parser.parse(text, filename=filename)
-        lowerer.lower_file(ast)
-    return lowerer.prog
+    from repro.obs.tracer import TRACER
+    with TRACER.span("parse", name=name, files=len(sources)):
+        lowerer = Lowerer(name=name)
+        parser = c_parser.CParser()
+        for filename, source in sources:
+            with TRACER.span("preprocess", file=filename):
+                text = preprocess(source, filename=filename,
+                                  include_dirs=include_dirs,
+                                  defines=defines)
+            # pycparser chokes on #pragma lines at certain positions
+            # only if malformed; ours are kept verbatim and parsed as
+            # Pragma nodes.
+            ast = parser.parse(text, filename=filename)
+            lowerer.lower_file(ast)
+        return lowerer.prog

@@ -560,9 +560,15 @@ class _Compiler:
 
         head = (_INSTR_HEAD
                 + "    c.cycles += ck\n"
-                + "    c.events[evk] += 1\n")
+                + "    c.events[evk] += 1\n"
+                # per-site hit counters for the observability layer;
+                # a None mapping keeps this to one attribute test
+                + "    hits = ip.site_hits\n"
+                + "    if hits is not None:\n"
+                + "        hits[sitek] = hits.get(sitek, 0) + 1\n")
         env: dict = {"ck": CHECK_COSTS.get(c.kind, 1),
-                     "evk": f"check:{c.kind.value}"}
+                     "evk": f"check:{c.kind.value}",
+                     "sitek": c.site}
         body = self._check_body_code(c)
         if body is None:
             return _gen(head, env)

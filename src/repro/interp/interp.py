@@ -42,6 +42,7 @@ from repro.runtime.checks import (BoundsError, CompatibilityError,
                                   SegmentationFault, StackEscapeError,
                                   UninitializedError, WildTagError,
                                   attach_failure)
+from repro.obs.tracer import TRACER
 from repro.runtime.cost import COST_WILD_TAG_UPDATE, CostModel
 from repro.runtime.memory import Home, Memory, PtrMeta
 from repro.runtime.values import NULL, POISON_ADDR, BlobVal, PtrVal
@@ -121,7 +122,8 @@ class Interpreter:
                  engine: str = "closures",
                  stdout_limit: int = 4_000_000,
                  deadline: Optional[float] = None,
-                 detect_uninit: bool = False) -> None:
+                 detect_uninit: bool = False,
+                 site_hits: Optional[dict] = None) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r} "
                              f"(expected one of {ENGINES})")
@@ -153,6 +155,10 @@ class Interpreter:
         self.max_steps = max_steps
         self.steps = 0
         self.detect_uninit = detect_uninit
+        #: per-check-site hit counters (site id -> executions), filled
+        #: only when a mapping is supplied — the observability layer's
+        #: histogram.  ``None`` keeps both engines on their fast path.
+        self.site_hits = site_hits
         # Wall-clock deadline, enforced at step-count checkpoints: the
         # fast path compares steps against _limit_at only; every
         # _clock_every steps _over_limit() consults the monotonic
@@ -449,6 +455,13 @@ class Interpreter:
     # ------------------------------------------------------------------
 
     def run(self, args: Optional[Sequence[str]] = None) -> ExecResult:
+        with TRACER.span("exec", engine=self.engine,
+                         mode="cured" if self.cured else "raw",
+                         program=self.prog.name):
+            return self._run_main(args)
+
+    def _run_main(self,
+                  args: Optional[Sequence[str]] = None) -> ExecResult:
         main = self.functions.get("main")
         if main is None:
             raise LinkError("no main function")
@@ -744,6 +757,10 @@ class Interpreter:
     def _exec_check(self, c: S.Check, frame: Frame) -> None:
         if not self.cured:
             return  # raw runs of an instrumented program skip checks
+        hits = self.site_hits
+        if hits is not None:
+            # a failing check still counts: the site was reached
+            hits[c.site] = hits.get(c.site, 0) + 1
         try:
             self._exec_check_kind(c, frame)
         except MemorySafetyError as exc:
@@ -1542,12 +1559,17 @@ def run_cured(cured: CuredProgram,
               engine: str = "closures",
               stdout_limit: int = 4_000_000,
               deadline: Optional[float] = None,
-              detect_uninit: bool = False) -> ExecResult:
-    """Execute a cured program with all run-time checks active."""
+              detect_uninit: bool = False,
+              site_hits: Optional[dict] = None) -> ExecResult:
+    """Execute a cured program with all run-time checks active.
+
+    ``site_hits`` (a mutable mapping, typically a ``Counter``) makes
+    both engines count executions per check site into it."""
     ip = Interpreter(cured.prog, cured=cured, stdin=stdin,
                      max_steps=max_steps, engine=engine,
                      stdout_limit=stdout_limit, deadline=deadline,
-                     detect_uninit=detect_uninit)
+                     detect_uninit=detect_uninit,
+                     site_hits=site_hits)
     return ip.run(args)
 
 

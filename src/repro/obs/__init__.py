@@ -1,0 +1,36 @@
+"""Pipeline observability: structured tracing, per-site metrics, and
+regression diffing.
+
+Three layers, importable without pulling the heavy pipeline modules:
+
+* :mod:`repro.obs.tracer` — span/event tracing with a shared global
+  :data:`~repro.obs.tracer.TRACER`; zero-cost while disabled;
+* :mod:`repro.obs.metrics` — per-workload static/dynamic check and
+  pointer-kind accounting (:class:`~repro.obs.metrics.MetricsReport`),
+  deterministic by construction;
+* :mod:`repro.obs.diff` — threshold-gated comparison of two reports,
+  the substrate of the CI regression gate
+  (``repro metrics diff --fail-on-regress``).
+"""
+
+from repro.obs.diff import (DiffResult, Finding, Thresholds,
+                            diff_reports, render_diff)
+from repro.obs.metrics import (SCHEMA, MetricsReport, SiteStat,
+                               WorkloadMetrics,
+                               collect_metrics,
+                               collect_workload_metrics,
+                               render_report, site_table)
+from repro.obs.serialize import (load_json, round_floats,
+                                 stable_dumps, write_json)
+from repro.obs.tracer import (TRACER, SpanRecord, Tracer,
+                              phase_seconds_of, span)
+
+__all__ = [
+    "DiffResult", "Finding", "Thresholds", "diff_reports",
+    "render_diff",
+    "SCHEMA", "MetricsReport", "SiteStat", "WorkloadMetrics",
+    "collect_metrics", "collect_workload_metrics", "render_report",
+    "site_table",
+    "load_json", "round_floats", "stable_dumps", "write_json",
+    "TRACER", "SpanRecord", "Tracer", "phase_seconds_of", "span",
+]

@@ -1,0 +1,215 @@
+"""Metrics regression diffing — what the CI gate runs.
+
+Compares two serialized :class:`~repro.obs.metrics.MetricsReport`
+payloads (a committed baseline and a fresh collection) and classifies
+every difference:
+
+* ``regress`` — a change past its threshold: more checks executed,
+  fewer checks statically elided, more cured cycles, a workload that
+  disappeared, or (when both reports carry timings) a phase that got
+  slower than the generous wall-time allowance;
+* ``improve`` — the same metrics moving the right way;
+* ``note`` — neutral facts a reviewer should see: new workloads, new
+  check sites in a function, configuration mismatches.
+
+Thresholds are percentages of the baseline value (absolute for
+``elided_drop``), so the gate scales from the 27-workload suite down
+to a single workload.  The deterministic metrics use a default
+threshold of 0: the cost model is exact, so *any* unexplained growth
+in executed checks or cycles is a real regression, and intentional
+changes update the committed baseline in the same PR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.metrics import SCHEMA
+
+
+@dataclass
+class Thresholds:
+    """Allowed growth before a difference counts as a regression."""
+
+    #: % increase allowed in checks executed per workload
+    checks_pct: float = 0.0
+    #: % increase allowed in cured cycles per workload
+    cycles_pct: float = 0.0
+    #: absolute drop allowed in statically elided checks per workload
+    elided_drop: int = 0
+    #: % increase allowed in per-phase wall time (timing reports only)
+    phase_pct: float = 50.0
+
+
+@dataclass
+class Finding:
+    """One classified difference between baseline and current."""
+
+    severity: str        # regress | improve | note
+    workload: str        # "" for report-level findings
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    detail: str = ""
+
+    def render(self) -> str:
+        tag = {"regress": "REGRESS", "improve": "improve",
+               "note": "note"}[self.severity]
+        where = self.workload or "<report>"
+        val = ""
+        if self.baseline is not None or self.current is not None:
+            val = f"  {self.baseline} -> {self.current}"
+        out = f"{tag:<8} {where:<18} {self.metric:<18}{val}"
+        if self.detail:
+            out += f"  ({self.detail})"
+        return out
+
+
+@dataclass
+class DiffResult:
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "regress"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _pct_over(baseline: float, current: float) -> float:
+    """Percent growth of ``current`` over ``baseline`` (0 baseline:
+    any growth is infinite)."""
+    if baseline == 0:
+        return float("inf") if current > 0 else 0.0
+    return (current - baseline) / baseline * 100.0
+
+
+def _site_kinds(wm: dict) -> dict[tuple[str, str], int]:
+    """Surviving-site counts per (function, kind) — site *ids*
+    renumber when unrelated code moves, so sites are compared by
+    shape, not by id."""
+    out: dict[tuple[str, str], int] = {}
+    for s in wm.get("sites", ()):
+        key = (s["function"], s["kind"])
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+def _diff_workload(res: DiffResult, base: dict, cur: dict,
+                   th: Thresholds) -> None:
+    name = base["name"]
+
+    def gate(metric: str, b: float, c: float, pct: float) -> None:
+        """Gate one counter: growth past ``pct`` percent regresses,
+        any shrink is an improvement."""
+        over = _pct_over(b, c)
+        if c > b and over > pct:
+            res.findings.append(Finding(
+                "regress", name, metric, b, c,
+                f"+{over:.1f}% > {pct:g}% allowed"))
+        elif c < b:
+            res.findings.append(Finding("improve", name, metric,
+                                        b, c))
+
+    gate("checks_executed", base["checks_executed"],
+         cur["checks_executed"], th.checks_pct)
+    gate("cured_cycles", base["cured_cycles"], cur["cured_cycles"],
+         th.cycles_pct)
+    gate("checks_surviving", base["checks_surviving"],
+         cur["checks_surviving"], th.checks_pct)
+
+    b_rm, c_rm = base["checks_removed"], cur["checks_removed"]
+    if b_rm - c_rm > th.elided_drop:
+        res.findings.append(Finding(
+            "regress", name, "checks_removed", b_rm, c_rm,
+            f"elision dropped by {b_rm - c_rm} > "
+            f"{th.elided_drop} allowed"))
+    elif c_rm > b_rm:
+        res.findings.append(Finding("improve", name,
+                                    "checks_removed", b_rm, c_rm))
+
+    # New check sites are surfaced by shape; the count gates above
+    # decide whether the growth is acceptable.
+    b_sites, c_sites = _site_kinds(base), _site_kinds(cur)
+    for key in sorted(set(c_sites) - set(b_sites)):
+        fn, kind = key
+        res.findings.append(Finding(
+            "note", name, "new-check-site", None, c_sites[key],
+            f"{kind} in {fn}()"))
+    for key in sorted(set(b_sites) - set(c_sites)):
+        fn, kind = key
+        res.findings.append(Finding(
+            "note", name, "gone-check-site", b_sites[key], None,
+            f"{kind} in {fn}()"))
+
+    # Wall-time phases: compared only when both sides measured them,
+    # with a deliberately generous threshold (CI machines are noisy).
+    b_ph, c_ph = base.get("phases"), cur.get("phases")
+    if b_ph and c_ph:
+        for phase in sorted(set(b_ph) & set(c_ph)):
+            over = _pct_over(b_ph[phase], c_ph[phase])
+            if over > th.phase_pct:
+                res.findings.append(Finding(
+                    "regress", name, f"phase:{phase}",
+                    round(b_ph[phase], 4), round(c_ph[phase], 4),
+                    f"+{over:.0f}% > {th.phase_pct:g}% allowed"))
+
+
+def diff_reports(baseline: dict, current: dict,
+                 thresholds: Optional[Thresholds] = None) -> DiffResult:
+    """Diff two serialized reports; see the module docstring for the
+    classification rules."""
+    th = thresholds if thresholds is not None else Thresholds()
+    res = DiffResult()
+
+    for payload, side in ((baseline, "baseline"),
+                          (current, "current")):
+        schema = payload.get("schema")
+        if schema != SCHEMA:
+            res.findings.append(Finding(
+                "regress", "", "schema", None, None,
+                f"{side} has schema {schema!r}, expected {SCHEMA!r}"))
+    if res.regressions:
+        return res
+
+    for key in ("engine", "optimize"):
+        if baseline.get(key) != current.get(key):
+            res.findings.append(Finding(
+                "note", "", key, None, None,
+                f"baseline={baseline.get(key)!r} "
+                f"current={current.get(key)!r}"))
+
+    base_wl = {w["name"]: w for w in baseline.get("workloads", ())}
+    cur_wl = {w["name"]: w for w in current.get("workloads", ())}
+
+    for name in sorted(set(base_wl) - set(cur_wl)):
+        res.findings.append(Finding(
+            "regress", name, "missing-workload", None, None,
+            "present in baseline, absent in current run"))
+    for name in sorted(set(cur_wl) - set(base_wl)):
+        res.findings.append(Finding(
+            "note", name, "new-workload", None,
+            cur_wl[name]["checks_executed"],
+            "not in baseline — update the baseline to gate it"))
+    for name in sorted(set(base_wl) & set(cur_wl)):
+        _diff_workload(res, base_wl[name], cur_wl[name], th)
+    return res
+
+
+def render_diff(res: DiffResult, verbose: bool = False) -> str:
+    """Human-readable summary: regressions always, the rest with
+    ``verbose``."""
+    shown = [f for f in res.findings
+             if verbose or f.severity == "regress"]
+    lines = [f.render() for f in shown]
+    n_imp = sum(1 for f in res.findings if f.severity == "improve")
+    n_note = sum(1 for f in res.findings if f.severity == "note")
+    lines.append(
+        f"{len(res.regressions)} regression(s), {n_imp} "
+        f"improvement(s), {n_note} note(s)"
+        + ("" if verbose or not (n_imp or n_note)
+           else " — rerun with --verbose for details"))
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Structured tracing for the curing/execution pipeline.
+
+A :class:`Tracer` hands out *spans* — context managers timing one
+phase of the pipeline (parse, cure, qualifier solving, dataflow,
+execution).  Spans nest: each finished span records its name, its
+depth in the stack of open spans, its start offset and its duration,
+plus free-form attributes (engine name, workload, optimization
+level).
+
+The instrumented modules call :meth:`Tracer.span` unconditionally on
+every pipeline entry, so the disabled path must cost nothing: when
+``enabled`` is False the tracer returns one shared :class:`_NullSpan`
+singleton — no allocation, no clock read, no record.  Enabling is a
+per-collection decision (``repro metrics --timing``), never a global
+default, which keeps benchmark measurements undisturbed.
+
+Wall-clock durations are inherently non-deterministic; consumers that
+need byte-identical output (the CI regression gate) simply leave the
+tracer disabled and report only the deterministic counters of
+:mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    depth: int          # nesting depth at entry (0 = top level)
+    start: float        # seconds since the tracer's epoch
+    duration: float     # wall seconds
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "depth": self.depth,
+                "start": round(self.start, 6),
+                "duration": round(self.duration, 6),
+                "attrs": dict(self.attrs)}
+
+
+class _NullSpan:
+    """The shared no-op span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """An open span; records itself on exit (even when the body
+    raises, so a failing phase still shows its time)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "depth", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.depth = 0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_LiveSpan":
+        t = self._tracer
+        self.depth = len(t._stack)
+        t._stack.append(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        t1 = time.perf_counter()
+        t = self._tracer
+        if t._stack and t._stack[-1] is self:
+            t._stack.pop()
+        t.records.append(SpanRecord(
+            self.name, self.depth, self._t0 - t._epoch,
+            t1 - self._t0, self.attrs))
+        return False
+
+    def set(self, **attrs: Any) -> "_LiveSpan":
+        """Attach attributes discovered mid-span."""
+        self.attrs.update(attrs)
+        return self
+
+
+class Tracer:
+    """Collects span records; disabled (and free) by default."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.records: list[SpanRecord] = []
+        self._stack: list[_LiveSpan] = []
+        self._epoch = time.perf_counter()
+
+    def span(self, name: str, /, **attrs: Any) -> object:
+        """A context manager timing ``name``; a shared no-op object
+        when tracing is disabled.  ``name`` is positional-only so any
+        keyword (even ``name=``) is a legal span attribute."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, attrs)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.records = []
+        self._stack = []
+        self._epoch = time.perf_counter()
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Total wall seconds per span name.  Nested spans count
+        toward their own name only; a parent's time includes its
+        children (phase names are chosen to make that reading
+        natural: ``cure`` contains ``solve``, ``dataflow``, ...)."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.name] = out.get(r.name, 0.0) + r.duration
+        return out
+
+    @contextmanager
+    def capture(self) -> Iterator[list[SpanRecord]]:
+        """Enable tracing for a block, yielding the (live) list that
+        collects its records; previous tracer state is restored on
+        exit."""
+        prev_enabled = self.enabled
+        prev_records = self.records
+        prev_stack = self._stack
+        self.records = []
+        self._stack = []
+        self.enabled = True
+        try:
+            yield self.records
+        finally:
+            self.enabled = prev_enabled
+            self.records = prev_records
+            self._stack = prev_stack
+
+
+#: the process-wide tracer every instrumented module reports to
+TRACER = Tracer()
+
+
+def span(name: str, /, **attrs: Any) -> object:
+    """Convenience alias for ``TRACER.span``."""
+    return TRACER.span(name, **attrs)
+
+
+def phase_seconds_of(records: list[SpanRecord],
+                     depth: Optional[int] = None) -> dict[str, float]:
+    """Aggregate a captured record list into per-name wall seconds,
+    optionally restricted to one nesting depth."""
+    out: dict[str, float] = {}
+    for r in records:
+        if depth is not None and r.depth != depth:
+            continue
+        out[r.name] = out.get(r.name, 0.0) + r.duration
+    return out

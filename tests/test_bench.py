@@ -101,6 +101,23 @@ class TestHarness:
             _options_key(CureOptions(optimize="none"))
         assert _options_key(None) is None
 
+    def test_result_key_includes_engine_and_level(self):
+        # Memoized measurements must be keyed by engine AND optimize
+        # level: a closures run at --optimize=flow and a tree run at
+        # --optimize=none measure different programs on different
+        # machines and may never share a cache entry.
+        from repro.bench.harness import _result_key
+        from repro.core import CureOptions
+        w = get("olden_bisort")
+        keys = {_result_key(w, 3, engine, 1000, "ccured",
+                            CureOptions(optimize=lvl))
+                for engine in ("closures", "tree")
+                for lvl in ("none", "local", "flow")}
+        assert len(keys) == 6
+        # raw runs carry the default level but still split by engine
+        assert _result_key(w, 3, "closures", 1000, "raw", None) != \
+            _result_key(w, 3, "tree", 1000, "raw", None)
+
     def test_pristine_cure_not_stale_across_levels(self):
         from repro.bench import pristine_cure
         from repro.core import CureOptions

@@ -1,0 +1,320 @@
+"""Tests for the observability layer: tracer, metrics, diff, CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import CureOptions, cure
+from repro.interp import ENGINES, run_cured
+from repro.obs import (SCHEMA, TRACER, Thresholds, collect_metrics,
+                       collect_workload_metrics, diff_reports,
+                       render_diff, render_report, round_floats,
+                       site_table, stable_dumps)
+from repro.obs.tracer import Tracer, phase_seconds_of
+from repro.workloads import get
+
+LOOPY = r'''
+int main(void) {
+  int a[8];
+  int *p = a;
+  int i;
+  int sum = 0;
+  for (i = 0; i < 8; i++) p[i] = i;
+  for (i = 0; i < 8; i++) sum = sum + p[i];
+  return sum == 28 ? 0 : 1;
+}
+'''
+
+
+class TestTracer:
+    def test_disabled_span_is_shared_singleton(self):
+        t = Tracer()
+        assert t.span("a") is t.span("b")
+        with t.span("c"):
+            pass
+        assert t.records == []
+
+    def test_enabled_spans_record_and_nest(self):
+        t = Tracer()
+        t.enable()
+        with t.span("outer", tag=1):
+            with t.span("inner"):
+                pass
+            with t.span("inner"):
+                pass
+        names = [(r.name, r.depth) for r in t.records]
+        # children close (and record) before their parent
+        assert names == [("inner", 1), ("inner", 1), ("outer", 0)]
+        assert t.records[-1].attrs == {"tag": 1}
+        assert all(r.duration >= 0 for r in t.records)
+
+    def test_name_keyword_is_an_attribute(self):
+        # span name is positional-only, so name= is a legal attr
+        t = Tracer()
+        t.enable()
+        with t.span("parse", name="prog"):
+            pass
+        assert t.records[0].attrs == {"name": "prog"}
+
+    def test_set_attaches_mid_span_attributes(self):
+        t = Tracer()
+        t.enable()
+        with t.span("dataflow") as sp:
+            sp.set(removed=7)
+        assert t.records[0].attrs["removed"] == 7
+
+    def test_span_recorded_even_when_body_raises(self):
+        t = Tracer()
+        t.enable()
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError
+        assert [r.name for r in t.records] == ["boom"]
+
+    def test_capture_isolates_and_restores(self):
+        t = Tracer()
+        with t.capture() as records:
+            with t.span("x"):
+                pass
+        assert [r.name for r in records] == ["x"]
+        assert t.enabled is False
+        assert t.records == []
+
+    def test_phase_seconds_aggregation(self):
+        t = Tracer()
+        t.enable()
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        with t.span("a"):
+            pass
+        secs = t.phase_seconds()
+        assert set(secs) == {"a", "b"}
+        top = phase_seconds_of(t.records, depth=0)
+        assert set(top) == {"a"}
+
+    def test_pipeline_emits_expected_phases(self):
+        with TRACER.capture() as records:
+            cure(LOOPY, options=CureOptions(optimize="flow"))
+        names = {r.name for r in records}
+        assert {"parse", "preprocess", "cure", "constraints",
+                "solve", "split", "instrument", "optimize",
+                "dataflow"} <= names
+
+    def test_global_tracer_disabled_by_default(self):
+        assert TRACER.enabled is False
+
+
+class TestSiteHits:
+    def test_site_hits_agree_across_engines(self):
+        counts = {}
+        for engine in ENGINES:
+            cured = cure(LOOPY, options=CureOptions(optimize="none"))
+            hits: dict[int, int] = {}
+            res = run_cured(cured, engine=engine, site_hits=hits)
+            assert res.status == 0
+            assert sum(hits.values()) == res.checks_executed
+            counts[engine] = hits
+        assert counts["closures"] == counts["tree"]
+
+    def test_site_table_covers_all_hit_sites(self):
+        cured = cure(LOOPY, options=CureOptions(optimize="none"))
+        hits: dict[int, int] = {}
+        run_cured(cured, site_hits=hits)
+        table = site_table(cured.prog)
+        assert set(hits) <= set(table)
+        assert all(fn == "main" for fn, _kind in table.values())
+
+    def test_raw_run_counts_nothing(self):
+        # a raw run of the *instrumented* tree skips its checks and
+        # must not count any sites either
+        from repro.interp.interp import Interpreter
+        cured = cure(LOOPY, options=CureOptions(optimize="none"))
+        hits: dict[int, int] = {}
+        ip = Interpreter(cured.prog, cured=None, site_hits=hits)
+        res = ip.run(None)
+        assert res.status == 0
+        assert hits == {}
+
+
+class TestMetrics:
+    @pytest.fixture(scope="class")
+    def power_metrics(self):
+        return collect_workload_metrics(get("olden_power"))
+
+    def test_workload_metrics_consistency(self, power_metrics):
+        wm = power_metrics
+        assert wm.name == "olden_power"
+        assert wm.checks_surviving == len(wm.sites)
+        assert wm.checks_executed == sum(s.hits for s in wm.sites)
+        assert wm.checks_executed == sum(wm.check_events.values())
+        assert sum(wm.checks_emitted.values()) == (
+            wm.checks_removed + wm.checks_surviving)
+        assert wm.ccured_ratio > 1.0
+        assert wm.phases == {}  # timing off by default
+
+    def test_collection_is_deterministic(self):
+        ws = [get("olden_power"), get("olden_treeadd")]
+        blobs = []
+        for _ in range(2):
+            report = collect_metrics(ws)
+            blobs.append(stable_dumps(report.to_json()))
+        assert blobs[0] == blobs[1]
+        payload = json.loads(blobs[0])
+        assert payload["schema"] == SCHEMA
+        assert [w["name"] for w in payload["workloads"]] == [
+            "olden_power", "olden_treeadd"]
+
+    def test_timing_excluded_from_default_serialization(self):
+        wm = collect_workload_metrics(get("olden_power"), timing=True)
+        assert wm.phases  # captured...
+        assert "phases" not in wm.to_json()  # ...but not serialized
+        assert "phases" in wm.to_json(include_timing=True)
+
+    def test_render_report_table(self):
+        report = collect_metrics([get("olden_power")])
+        out = render_report(report)
+        assert "olden_power" in out
+        assert "TOTAL" in out
+        assert "hottest" in out
+
+    def test_round_floats(self):
+        obj = {"a": [1.23456789, {"b": 2.0}], "c": "s"}
+        assert round_floats(obj) == {"a": [1.234568, {"b": 2.0}],
+                                     "c": "s"}
+
+    def test_stable_dumps_sorted_with_newline(self):
+        s = stable_dumps({"b": 1, "a": 2})
+        assert s.index('"a"') < s.index('"b"')
+        assert s.endswith("\n")
+
+
+class TestDiff:
+    @pytest.fixture(scope="class")
+    def report_json(self):
+        report = collect_metrics([get("olden_power"),
+                                  get("olden_treeadd")])
+        return report.to_json()
+
+    def test_identical_reports_are_clean(self, report_json):
+        res = diff_reports(report_json, report_json)
+        assert res.ok
+        assert res.findings == []
+        assert "0 regression(s)" in render_diff(res)
+
+    def test_checks_regression_detected(self, report_json):
+        cur = copy.deepcopy(report_json)
+        cur["workloads"][0]["checks_executed"] += 1
+        res = diff_reports(report_json, cur)
+        assert not res.ok
+        assert any(f.metric == "checks_executed"
+                   for f in res.regressions)
+
+    def test_threshold_allows_small_growth(self, report_json):
+        cur = copy.deepcopy(report_json)
+        base = cur["workloads"][0]["checks_executed"]
+        cur["workloads"][0]["checks_executed"] = int(base * 1.04)
+        th = Thresholds(checks_pct=5.0)
+        assert diff_reports(report_json, cur, th).ok
+        th = Thresholds(checks_pct=1.0)
+        assert not diff_reports(report_json, cur, th).ok
+
+    def test_improvement_is_not_a_regression(self, report_json):
+        cur = copy.deepcopy(report_json)
+        cur["workloads"][0]["cured_cycles"] -= 1
+        res = diff_reports(report_json, cur)
+        assert res.ok
+        assert any(f.severity == "improve" for f in res.findings)
+
+    def test_elision_drop_regresses(self, report_json):
+        cur = copy.deepcopy(report_json)
+        cur["workloads"][0]["checks_removed"] -= 1
+        res = diff_reports(report_json, cur)
+        assert any(f.metric == "checks_removed"
+                   for f in res.regressions)
+        assert diff_reports(report_json, cur,
+                            Thresholds(elided_drop=1)).ok
+
+    def test_missing_workload_regresses(self, report_json):
+        cur = copy.deepcopy(report_json)
+        del cur["workloads"][0]
+        res = diff_reports(report_json, cur)
+        assert any(f.metric == "missing-workload"
+                   for f in res.regressions)
+
+    def test_new_workload_is_a_note(self, report_json):
+        base = copy.deepcopy(report_json)
+        del base["workloads"][0]
+        res = diff_reports(base, report_json)
+        assert res.ok
+        assert any(f.metric == "new-workload" for f in res.findings)
+
+    def test_new_check_site_is_a_note(self, report_json):
+        cur = copy.deepcopy(report_json)
+        cur["workloads"][0]["sites"].append(
+            {"site": 999, "function": "brand_new",
+             "kind": "CHECK_NULL", "hits": 0})
+        res = diff_reports(report_json, cur,
+                           Thresholds(checks_pct=100.0))
+        assert any(f.metric == "new-check-site" for f in res.findings)
+
+    def test_schema_mismatch_short_circuits(self, report_json):
+        bad = copy.deepcopy(report_json)
+        bad["schema"] = "something/else"
+        res = diff_reports(report_json, bad)
+        assert [f.metric for f in res.regressions] == ["schema"]
+
+    def test_phase_gate_needs_both_sides(self, report_json):
+        base = copy.deepcopy(report_json)
+        cur = copy.deepcopy(report_json)
+        cur["workloads"][0]["phases"] = {"cure": 1.0}
+        assert diff_reports(base, cur).ok  # baseline has no timings
+        base["workloads"][0]["phases"] = {"cure": 0.1}
+        res = diff_reports(base, cur)
+        assert any(f.metric == "phase:cure" for f in res.regressions)
+
+
+class TestMetricsCLI:
+    def test_table_output(self, capsys):
+        assert main(["metrics", "--workload", "olden_power",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "olden_power" in out and "TOTAL" in out
+
+    def test_json_deterministic_across_invocations(self, tmp_path,
+                                                   capsys):
+        paths = [str(tmp_path / f"m{i}.json") for i in range(2)]
+        for p in paths:
+            assert main(["metrics", "--workload", "olden_power",
+                         "--json", p, "--quiet"]) == 0
+        capsys.readouterr()
+        a, b = (open(p).read() for p in paths)
+        assert a == b
+        assert json.loads(a)["schema"] == SCHEMA
+
+    def test_unknown_workload_fails(self, capsys):
+        assert main(["metrics", "--workload", "no_such"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_diff_gate_passes_then_fails(self, tmp_path, capsys):
+        base = str(tmp_path / "base.json")
+        assert main(["metrics", "--workload", "olden_power",
+                     "--json", base, "--quiet"]) == 0
+        assert main(["metrics", "diff", "--baseline", base,
+                     "--current", base, "--fail-on-regress"]) == 0
+        payload = json.load(open(base))
+        payload["workloads"][0]["checks_executed"] += 50
+        regressed = tmp_path / "regressed.json"
+        regressed.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["metrics", "diff", "--baseline", base,
+                     "--current", str(regressed),
+                     "--fail-on-regress"]) == 2
+        out = capsys.readouterr()
+        assert "REGRESS" in out.out
+        assert "FAILED" in out.err
+        # without the gate flag, regressions exit 1
+        assert main(["metrics", "diff", "--baseline", base,
+                     "--current", str(regressed)]) == 1
