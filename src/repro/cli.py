@@ -19,6 +19,11 @@ Usage (also available as ``python -m repro``)::
                                            # per-site histograms)
     python -m repro metrics diff --baseline old.json --fail-on-regress
                                            # CI regression gate
+    python -m repro explain NAME|FILE      # blame chains + root-cause
+                                           # ranking per pointer kind
+    python -m repro explain diff --baseline a.json --current b.json
+                                           # did the annotation
+                                           # shrink WILD?
 
 The exit status of ``run`` is the program's exit status; memory-safety
 failures exit with status 99 after printing the check that fired,
@@ -54,13 +59,15 @@ def _optimize_level(args: argparse.Namespace) -> Optional[str]:
     return getattr(args, "optimize", None)
 
 
-def _options(args: argparse.Namespace) -> CureOptions:
+def _options(args: argparse.Namespace,
+             provenance: bool = False) -> CureOptions:
     return CureOptions(
         use_physical=not args.no_physical,
         use_rtti=not args.no_rtti,
         trust_bad_casts=args.trust_bad_casts,
         all_split=args.all_split,
         optimize=_optimize_level(args),
+        provenance=provenance,
     )
 
 
@@ -112,7 +119,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             result = run_raw(prog, args=args.args, stdin=stdin,
                              engine=args.engine)
         else:
-            cured = cure(source, options=_options(args),
+            # provenance on: a trapping run explains the failing
+            # pointer's kind with its blame chain
+            cured = cure(source,
+                         options=_options(args, provenance=True),
                          name=args.file,
                          include_dirs=args.include or None)
             result = run_cured(cured, args=args.args, stdin=stdin,
@@ -120,6 +130,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     except MemorySafetyError as exc:
         print(result_stdout_of(exc), end="")
         print(f"[{type(exc).__name__}] {exc}", file=sys.stderr)
+        _print_blame(exc)
         return SAFETY_EXIT
     except (SegmentationFault, ProgramAbort) as exc:
         print(f"[{type(exc).__name__}] {exc}", file=sys.stderr)
@@ -135,6 +146,22 @@ def result_stdout_of(exc: BaseException) -> str:
     # Output produced before the failing check is not tracked on the
     # exception; keep the hook for future use.
     return ""
+
+
+def _print_blame(exc: BaseException) -> None:
+    """Print the failing pointer's blame chain, if one was attached
+    (failure forensics, stderr)."""
+    failure = getattr(exc, "failure", None)
+    if failure is None or not getattr(failure, "blame", None):
+        return
+    from repro.obs.blame import render_chain
+    chain = {"kind": failure.pointer_kind or "?",
+             "where": (f"pointer checked by {failure.check} "
+                       f"in {failure.function}"),
+             "steps": failure.blame}
+    print("blame chain of the failing pointer:", file=sys.stderr)
+    for ln in render_chain(chain):
+        print("  " + ln, file=sys.stderr)
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:
@@ -253,6 +280,72 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if report.ok else 2
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import (EXPLAIN_SCHEMA, diff_explain,
+                           explain_report, load_json, render_explain,
+                           render_explain_diff, write_json)
+
+    if args.target == "diff":
+        if not (args.baseline and args.current):
+            print("explain diff: --baseline and --current are "
+                  "required", file=sys.stderr)
+            return 2
+        baseline = load_json(args.baseline)
+        current = load_json(args.current)
+        for side, payload in (("baseline", baseline),
+                              ("current", current)):
+            if payload.get("schema") != EXPLAIN_SCHEMA:
+                print(f"explain diff: {side} has schema "
+                      f"{payload.get('schema')!r}, expected "
+                      f"{EXPLAIN_SCHEMA!r}", file=sys.stderr)
+                return 2
+        d = diff_explain(baseline, current)
+        print(render_explain_diff(d))
+        return 1 if d["verdict"] == "regressed" else 0
+
+    target = args.target
+    opts = _options(args, provenance=True)
+    looks_like_file = (target.endswith(".c") or os.sep in target
+                       or os.path.exists(target))
+    if looks_like_file:
+        try:
+            source = _read_source(target)
+        except OSError as exc:
+            print(f"explain: cannot read {target!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        cured = cure(source, options=opts, name=target,
+                     include_dirs=args.include or None)
+        name = target
+    else:
+        from repro.bench.harness import pristine_cure
+        from repro.workloads import get
+        try:
+            w = get(target)
+        except KeyError:
+            print(f"unknown workload {target!r} "
+                  "(see `python -m repro workloads`)",
+                  file=sys.stderr)
+            return 2
+        # honor the workload's own trust default unless overridden
+        opts.trust_bad_casts = (args.trust_bad_casts
+                                or w.trust_bad_casts)
+        cured = pristine_cure(w, options=opts, scale=args.scale)
+        name = w.name
+    report = explain_report(cured, name, function=args.function,
+                            var=args.var)
+    if args.json:
+        write_json(report, args.json)
+        if args.json != "-":
+            print(f"explain report written to {args.json}",
+                  file=sys.stderr)
+    else:
+        print(render_explain(report, top=args.top))
+    return 0
+
+
 def _select_workloads(names: Optional[str], all_workloads: bool):
     """Resolve a ``--workload a,b``/``--all-workloads`` selection."""
     from repro.workloads import all_workloads as _all, get
@@ -315,11 +408,20 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         print("metrics: give --workload NAME[,NAME...] or "
               "--all-workloads", file=sys.stderr)
         return 2
+    trace_records: Optional[list] = [] if args.trace else None
     report = collect_metrics(
         selected, engine=args.engine, optimize=args.optimize,
         scale=args.scale, timing=args.timing,
+        provenance=args.provenance, trace=trace_records,
         progress=(None if (args.quiet or not args.json) else
                   lambda line: print(line, file=sys.stderr)))
+    if args.trace:
+        from repro.obs.tracer import write_chrome_trace
+        write_chrome_trace(trace_records or [], args.trace)
+        if args.trace != "-":
+            print(f"chrome trace written to {args.trace} "
+                  "(load in chrome://tracing or ui.perfetto.dev)",
+                  file=sys.stderr)
     if args.json:
         write_json(report.to_json(include_timing=args.timing),
                    args.json)
@@ -392,6 +494,35 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="DIR", help="extra include directory")
     p_an.set_defaults(fn=cmd_analyze)
 
+    p_exp = sub.add_parser(
+        "explain",
+        help="explain pointer-kind inference: per-pointer blame "
+             "chains and a root-cause ranking (the paper's 'CCured "
+             "browser' workflow)")
+    p_exp.add_argument("target",
+                       help="a workload name, a C file path, or "
+                            "'diff' to compare two explain reports "
+                            "(exit 1 when WILD regressed)")
+    p_exp.add_argument("--baseline", default=None, metavar="PATH",
+                       help="(diff) explain JSON before the change")
+    p_exp.add_argument("--current", default=None, metavar="PATH",
+                       help="(diff) explain JSON after the change")
+    p_exp.add_argument("--function", default=None, metavar="F",
+                       help="only pointers declared in function F")
+    p_exp.add_argument("--var", default=None, metavar="V",
+                       help="only pointers named V")
+    p_exp.add_argument("--json", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="emit the deterministic JSON report (to "
+                            "PATH, or stdout when no PATH is given)")
+    p_exp.add_argument("--top", type=int, default=10, metavar="N",
+                       help="root causes listed per state in table "
+                            "output")
+    p_exp.add_argument("--scale", type=int, default=None,
+                       help="workload problem size")
+    _add_cure_flags(p_exp)
+    p_exp.set_defaults(fn=cmd_explain)
+
     p_met = sub.add_parser(
         "metrics",
         help="pipeline observability: per-phase timings, check-site "
@@ -414,6 +545,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also collect per-phase wall times "
                             "(non-deterministic; excluded from the "
                             "regression gate)")
+    p_met.add_argument("--trace", default=None, metavar="PATH",
+                       help="write pipeline spans as Chrome "
+                            "trace_event JSON (load in "
+                            "chrome://tracing or ui.perfetto.dev)")
+    p_met.add_argument("--provenance", action="store_true",
+                       help="record blame provenance and include "
+                            "per-state root-cause counts in the "
+                            "report (gated by `metrics diff`)")
     p_met.add_argument("--top", type=int, default=5, metavar="N",
                        help="hottest check sites listed per workload "
                             "in table output")

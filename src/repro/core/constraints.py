@@ -27,7 +27,7 @@ from typing import Optional
 from repro.cil import expr as E
 from repro.cil import stmt as S
 from repro.cil import types as T
-from repro.cil.program import GFun, GPragma, GVar, Program
+from repro.cil.program import GFun, GVar, Program
 from repro.cil.visitor import each_pointer, type_occurrences
 from repro.core.casts import CastCensus, CastClass, classify_cast
 from repro.core.options import CureOptions
@@ -40,8 +40,14 @@ class Analysis:
     """The result of constraint generation over one program."""
 
     def __init__(self, prog: Program, options: CureOptions) -> None:
+        # Node ids restart per analysis so ids — and anything keyed on
+        # them, like blame-graph JSON — are deterministic across
+        # same-process runs.
+        Node.reset_ids()
         self.prog = prog
         self.options = options
+        #: record blame provenance on every node state change
+        self.record_provenance = options.provenance
         self.census = CastCensus()
         self.hierarchy = RttiHierarchy()
         #: all qualifier nodes, in creation order
@@ -138,10 +144,11 @@ def _apply_pragmas(an: Analysis) -> None:
             name = where.split(" ", 1)[-1] if " " in where else where
             short = name.split(":")[-1].split(".")[-1]
             if name in targets or short in targets:
-                def visit(p: T.TPtr) -> None:
+                def visit(p: T.TPtr, where=where) -> None:
                     n = ensure_node(p, where)
                     n.wild = True
-                    n.reason = "ccuredWild pragma"
+                    if an.record_provenance:
+                        n.add_prov("WILD", "wild-pragma", where=where)
 
                 each_pointer(t, visit)
 
@@ -161,7 +168,11 @@ class _Generator:
 
     def __init__(self, an: Analysis) -> None:
         self.an = an
+        self.rec = an.record_provenance
         self.cur_fun: Optional[S.Fundec] = None
+
+    def _loc(self) -> str:
+        return self.cur_fun.name if self.cur_fun else "global"
 
     def run(self) -> None:
         prog = self.an.prog
@@ -331,6 +342,10 @@ class _Generator:
                 n = self.node(e.e1.type(), "pointer arithmetic")
                 if n is not None:
                     n.arith = True
+                    if self.rec:
+                        n.add_prov(
+                            "SEQ", "pointer-arith",
+                            where=f"pointer arithmetic in {self._loc()}")
                     if e.op is E.BinopKind.MINUS_PI or (
                             isinstance(e.e2, E.Const)
                             and isinstance(e.e2.value, int)
@@ -342,6 +357,11 @@ class _Generator:
                     if n is not None:
                         n.arith = True
                         n.neg_arith = True
+                        if self.rec:
+                            n.add_prov(
+                                "SEQ", "pointer-diff",
+                                where=("pointer difference in "
+                                       f"{self._loc()}"))
         elif isinstance(e, E.CastE):
             self._exp(e.e)
             self._cast(e)
@@ -394,6 +414,11 @@ class _Generator:
                     # follows the value forward.
                     nd.from_int = True
                     nd.arith = True
+                    if self.rec:
+                        nd.add_prov(
+                            "SEQ", "int-to-ptr",
+                            where=(f"int-to-ptr cast in {self._loc()}:"
+                                   f" -> {ud!r}"))
             return
         ns = self.node(us, "cast src")
         nd = self.node(ud, "cast dst")
@@ -404,7 +429,12 @@ class _Generator:
         if cls is CastClass.BAD:
             ns.wild = True
             nd.wild = True
-            ns.reason = nd.reason = "bad cast"
+            if self.rec:
+                where = (f"bad cast in {self._loc()}: "
+                         f"{us!r} -> {ud!r}")
+                ns.add_prov("WILD", "bad-cast", where=where)
+                nd.add_prov("WILD", "wild-spread", via="cast",
+                            src=ns.id, where=where)
             return
         # identical / upcast / downcast share the matched-prefix
         # representation-equality edges.
@@ -435,4 +465,7 @@ class _Generator:
                 nd.add_rtti_back(ns)
         elif cls is CastClass.DOWNCAST:
             ns.rtti_needed = True
-            ns.reason = "downcast source"
+            if self.rec:
+                ns.add_prov("RTTI", "downcast",
+                            where=(f"downcast in {self._loc()}: "
+                                   f"{us!r} -> {ud!r}"))

@@ -25,7 +25,6 @@ from repro.core.casts import CastCensus
 from repro.core.constraints import Analysis, generate
 from repro.core.options import CureOptions
 from repro.obs.tracer import TRACER
-from repro.core.qualifiers import PointerKind
 from repro.core.rtti import RttiHierarchy
 from repro.core.solver import SolveResult, solve
 from repro.core.split import SplitResult, infer_split

@@ -51,6 +51,12 @@ class CureOptions:
     #: None, derived from ``optimize_checks``: True means the default
     #: ``flow``, False means ``none``.
     optimize: Optional[str] = None
+    #: record blame-graph provenance on every qualifier-node kind
+    #: change (see :mod:`repro.obs.provenance`).  Off by default so
+    #: benches and the committed metrics baseline pay nothing; turned
+    #: on by ``repro explain``, ``repro run``, the fault campaigns and
+    #: ``repro metrics --provenance``.
+    provenance: bool = False
     #: names of variables/fields the user annotated SPLIT
     #: (``#pragma ccuredSplit("name")`` also feeds this).
     split_roots: set[str] = field(default_factory=set)

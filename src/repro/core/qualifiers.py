@@ -14,6 +14,7 @@ import enum
 from typing import Optional
 
 from repro.cil import types as T
+from repro.obs.provenance import Provenance, describe
 
 
 class PointerKind(enum.Enum):
@@ -58,6 +59,14 @@ class Node:
 
     _next_id = 0
 
+    @classmethod
+    def reset_ids(cls) -> None:
+        """Restart the id counter.  Called at the start of every
+        :class:`repro.core.constraints.Analysis` so node ids — and
+        everything keyed on them, like blame-graph serialization — are
+        deterministic across same-process runs."""
+        cls._next_id = 0
+
     def __init__(self, ptr_type: Optional[T.TPtr],
                  where: str = "?") -> None:
         self.id = Node._next_id
@@ -89,8 +98,40 @@ class Node:
         # solver results
         self.kind: PointerKind = PointerKind.SAFE
         self.solved = False
-        # why the solver chose this kind (for reports/debugging)
-        self.reason = ""
+        #: provenance records, at most one per state (WILD/RTTI/SEQ),
+        #: recorded only when `CureOptions.provenance` is on
+        self.prov: list[Provenance] = []
+
+    def add_prov(self, state: str, cause: str, via: str = "",
+                 src: Optional[int] = None, where: str = "") -> bool:
+        """Record entering ``state`` unless already explained."""
+        for p in self.prov:
+            if p.state == state:
+                return False
+        self.prov.append(Provenance(state, cause, via, src, where))
+        return True
+
+    def prov_for(self, state: str) -> Optional[Provenance]:
+        for p in self.prov:
+            if p.state == state:
+                return p
+        return None
+
+    @property
+    def reason(self) -> str:
+        """Why the solver chose this kind — derived from the
+        provenance record of the final kind's state, so the one-line
+        reason and the blame graph can never disagree.  Empty when
+        provenance recording was off or the node is SAFE."""
+        p = None
+        if self.solved and self.kind is not PointerKind.SAFE:
+            state = ("SEQ" if self.kind in (PointerKind.SEQ,
+                                            PointerKind.FSEQ)
+                     else self.kind.name)
+            p = self.prov_for(state)
+        if p is None and self.prov:
+            p = self.prov[0]
+        return describe(p) if p is not None else ""
 
     def add_compat(self, other: "Node") -> None:
         self.compat.append(other)

@@ -27,7 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cil import types as T
-from repro.cil.visitor import each_pointer
 from repro.core.constraints import Analysis
 from repro.core.physical import seq_compatible
 from repro.core.qualifiers import Node, PointerKind
@@ -79,8 +78,14 @@ class SolveResult:
         return out
 
 
+#: spread-cause per state, for group/safety-net provenance records
+_SPREAD_OF = {"WILD": "wild-spread", "RTTI": "rtti-spread",
+              "SEQ": "seq-spread"}
+
+
 def solve(an: Analysis) -> SolveResult:
     result = SolveResult(an)
+    rec = an.options.provenance
     uf = _UnionFind()
     # Union-find over representation-equality edges.  `same` neighbours
     # may include nodes created after generation; collect via closure.
@@ -112,10 +117,10 @@ def solve(an: Analysis) -> SolveResult:
     while changed:
         result.iterations += 1
         changed = False
-        _spread_wild(groups, uf)
-        _spread_from_int(groups, uf)
-        _spread_rtti(groups, uf)
-        _spread_seq(groups, uf)
+        _spread_wild(groups, uf, rec)
+        _spread_from_int(groups, uf, rec)
+        _spread_rtti(groups, uf, rec)
+        _spread_seq(groups, uf, rec)
         # Conflict: arithmetic on an RTTI pointer has no representation.
         for members in groups.values():
             flags_arith = any(m.arith for m in members)
@@ -123,9 +128,18 @@ def solve(an: Analysis) -> SolveResult:
                              for m in members)
             flags_wild = any(m.wild for m in members)
             if flags_arith and flags_rtti and not flags_wild:
+                donor = None
                 for m in members:
                     m.wild = True
-                    m.reason = m.reason or "arith+rtti conflict"
+                    if rec:
+                        if donor is None:
+                            m.add_prov("WILD", "arith-rtti-conflict",
+                                       where=m.where)
+                            donor = m
+                        else:
+                            m.add_prov("WILD", "wild-spread",
+                                       via="group", src=donor.id,
+                                       where=m.where)
                 result.wild_from_conflicts += 1
                 changed = True
         # SEQ cast obligations (paper Section 3.1's t'[n'] ≈ t[n] rule).
@@ -139,9 +153,19 @@ def solve(an: Analysis) -> SolveResult:
             seqish = (any(m.arith for m in gs)
                       and any(m.arith for m in gd))
             if seqish and not is_seq_ok(b1, b2):
+                if rec:
+                    where = (f"SEQ cast at {ns.where}: "
+                             f"{b1!r} ~ {b2!r}")
+                    ns.add_prov("WILD", "seq-cast-incompat",
+                                where=where)
+                    nd.add_prov("WILD", "wild-spread", via="compat",
+                                src=ns.id, where=nd.where)
                 for m in gs + gd:
                     m.wild = True
-                    m.reason = m.reason or "SEQ cast incompatible sizes"
+                    if rec:
+                        src = ns if m in gs else nd
+                        m.add_prov("WILD", "wild-spread", via="group",
+                                   src=src.id, where=m.where)
                 result.wild_from_seq_casts += 1
                 changed = True
 
@@ -166,6 +190,27 @@ def solve(an: Analysis) -> SolveResult:
         for m in members:
             m.kind = kind
             m.solved = True
+        # Safety net: every non-SAFE member must be explainable.  A
+        # member whose kind comes only from the *union* of its group's
+        # flags gets a group record pointing at a member that has one.
+        if rec and kind is not PointerKind.SAFE:
+            state = ("SEQ" if kind in (PointerKind.SEQ,
+                                       PointerKind.FSEQ)
+                     else kind.name)
+            donor = None
+            for m in members:
+                if m.prov_for(state) is not None:
+                    donor = m
+                    break
+            for m in members:
+                if m.prov_for(state) is not None:
+                    continue
+                if donor is None:
+                    m.add_prov(state, "solver", where=m.where)
+                    donor = m
+                else:
+                    m.add_prov(state, _SPREAD_OF[state], via="group",
+                               src=donor.id, where=m.where)
     for n in uf.by_id.values():
         counts[n.kind] += 1
     result.kind_counts = counts
@@ -188,12 +233,13 @@ def _collect_nodes(an: Analysis) -> list[Node]:
     return list(seen.values())
 
 
-def _spread_wild(groups: dict[int, list[Node]], uf: _UnionFind) -> None:
+def _spread_wild(groups: dict[int, list[Node]], uf: _UnionFind,
+                 rec: bool = False) -> None:
     """Propagate WILD across compat/same edges and into base types."""
     worklist = [n for n in uf.by_id.values() if n.wild]
     wilded: set[int] = {n.id for n in worklist}
 
-    def make_wild(n: Node, why: str) -> None:
+    def make_wild(n: Node, via: str, src: Node) -> None:
         if n.id in wilded:
             return
         n.wild = True
@@ -202,7 +248,9 @@ def _spread_wild(groups: dict[int, list[Node]], uf: _UnionFind) -> None:
         # that are not members of any union-find group.
         n.kind = PointerKind.WILD
         n.solved = True
-        n.reason = n.reason or why
+        if rec:
+            n.add_prov("WILD", "wild-spread", via=via, src=src.id,
+                       where=n.where)
         wilded.add(n.id)
         worklist.append(n)
 
@@ -211,46 +259,47 @@ def _spread_wild(groups: dict[int, list[Node]], uf: _UnionFind) -> None:
         n = worklist.pop()
         n.wild = True
         for m in n.compat:
-            make_wild(m, "flows to/from WILD")
+            make_wild(m, "compat", n)
         for m in n.same:
-            make_wild(m, "representation tied to WILD")
+            make_wild(m, "same", n)
         if n.id in uf.parent:
             for m in groups.get(uf.find(n.id), []):
-                make_wild(m, "representation tied to WILD")
+                make_wild(m, "group", n)
         # Soundness: everything reachable through the base type of a
         # WILD pointer is WILD.
         if n.ptr_type is not None:
-            _wild_base(n.ptr_type.base, make_wild, visited_comps)
+            _wild_base(n.ptr_type.base,
+                       lambda m, n=n: make_wild(m, "base", n),
+                       visited_comps)
 
 
-def _wild_base(t: T.CType, make_wild, visited_comps: set[int]) -> None:
+def _wild_base(t: T.CType, on_wild, visited_comps: set[int]) -> None:
     def on_ptr(p: T.TPtr) -> None:
         from repro.core.qualifiers import ensure_node
-        make_wild(ensure_node(p, "inside WILD base"),
-                  "inside WILD referent")
-        _wild_base(p.base, make_wild, visited_comps)
+        on_wild(ensure_node(p, "inside WILD base"))
+        _wild_base(p.base, on_wild, visited_comps)
 
     u = T.unroll(t)
     if isinstance(u, T.TPtr):
         on_ptr(u)
     elif isinstance(u, T.TArray):
-        _wild_base(u.base, make_wild, visited_comps)
+        _wild_base(u.base, on_wild, visited_comps)
     elif isinstance(u, T.TComp):
         if u.comp.key in visited_comps:
             return
         visited_comps.add(u.comp.key)
         for f in u.comp.fields:
-            _wild_base(f.type, make_wild, visited_comps)
+            _wild_base(f.type, on_wild, visited_comps)
     elif isinstance(u, T.TFun):
         # Function pointers inside WILD areas: their signature pointers
         # go WILD as well (calls through them are tag-checked).
-        _wild_base(u.ret, make_wild, visited_comps)
+        _wild_base(u.ret, on_wild, visited_comps)
         for _, pt in (u.params or []):
-            _wild_base(pt, make_wild, visited_comps)
+            _wild_base(pt, on_wild, visited_comps)
 
 
 def _spread_from_int(groups: dict[int, list[Node]],
-                     uf: _UnionFind) -> None:
+                     uf: _UnionFind, rec: bool = False) -> None:
     """A possibly-integer pointer value (int-to-ptr cast) taints every
     node it flows into: those can be SEQ or WILD but never SAFE."""
     worklist = [n for n in uf.by_id.values() if n.from_int]
@@ -260,16 +309,22 @@ def _spread_from_int(groups: dict[int, list[Node]],
         n.from_int = True
         if not n.wild:
             n.arith = True  # at least SEQ
-        targets = list(n.flow_out)
+        targets = [(m, "flow") for m in n.flow_out]
         if n.id in uf.parent:
-            targets.extend(groups.get(uf.find(n.id), []))
-        for m in targets:
+            targets.extend(
+                (m, "group")
+                for m in groups.get(uf.find(n.id), []))
+        for m, via in targets:
             if m.id not in seen:
                 seen.add(m.id)
+                if rec and not m.wild:
+                    m.add_prov("SEQ", "int-taint", via=via,
+                               src=n.id, where=m.where)
                 worklist.append(m)
 
 
-def _spread_seq(groups: dict[int, list[Node]], uf: _UnionFind) -> None:
+def _spread_seq(groups: dict[int, list[Node]], uf: _UnionFind,
+                rec: bool = False) -> None:
     """Propagate the need for bounds backwards along flows: if a SEQ
     pointer is assigned from ``x``, then ``x`` must carry bounds too.
     Propagation stops at RTTI nodes (they manufacture bounds from their
@@ -278,20 +333,26 @@ def _spread_seq(groups: dict[int, list[Node]], uf: _UnionFind) -> None:
     seen = {n.id for n in worklist}
     while worklist:
         n = worklist.pop()
-        targets = list(n.seq_back)
+        targets = [(m, "seq_back") for m in n.seq_back]
         if n.id in uf.parent:
-            targets.extend(groups.get(uf.find(n.id), []))
-        for m in targets:
+            targets.extend(
+                (m, "group")
+                for m in groups.get(uf.find(n.id), []))
+        for m, via in targets:
             if (m.id not in seen and not m.wild
                     and not m.rtti_needed):
                 seen.add(m.id)
                 m.arith = True
+                if rec:
+                    m.add_prov("SEQ", "seq-spread", via=via,
+                               src=n.id, where=m.where)
                 if n.neg_arith:
                     m.neg_arith = True
                 worklist.append(m)
 
 
-def _spread_rtti(groups: dict[int, list[Node]], uf: _UnionFind) -> None:
+def _spread_rtti(groups: dict[int, list[Node]], uf: _UnionFind,
+                 rec: bool = False) -> None:
     worklist = [n for n in uf.by_id.values()
                 if n.rtti_needed and not n.wild]
     seen = {n.id for n in worklist}
@@ -300,11 +361,16 @@ def _spread_rtti(groups: dict[int, list[Node]], uf: _UnionFind) -> None:
         if n.wild:
             continue
         n.rtti_needed = True
-        targets = list(n.rtti_back)
+        targets = [(m, "rtti_back") for m in n.rtti_back]
         if n.id in uf.parent:
-            targets.extend(groups.get(uf.find(n.id), []))
-        for m in targets:
+            targets.extend(
+                (m, "group")
+                for m in groups.get(uf.find(n.id), []))
+        for m, via in targets:
             if m.id not in seen and not m.wild:
                 seen.add(m.id)
                 m.rtti_needed = True
+                if rec:
+                    m.add_prov("RTTI", "rtti-spread", via=via,
+                               src=n.id, where=m.where)
                 worklist.append(m)

@@ -180,8 +180,13 @@ def run_variant(w: Workload, spec: FaultSpec, *,
     # (bind_like) would also trust the *injected* evil casts and
     # neuter the attack.  The injected fault executes at main entry,
     # before any workload code whose kinds the stricter options might
-    # change can run.
-    cured = cure(base, options=CureOptions(optimize=optimize),
+    # change can run.  Provenance is on so trapped failures carry the
+    # blame chain of the failing pointer; both engines run the same
+    # cured object, so the chains are engine-identical by construction
+    # (and engines_agree compares them).
+    cured = cure(base,
+                 options=CureOptions(optimize=optimize,
+                                     provenance=True),
                  name=f"{w.name}+{spec.mclass}")
 
     args = list(w.args) or None

@@ -20,6 +20,18 @@ def report_to_json(report: CampaignReport, indent: int = 2) -> str:
                       sort_keys=True) + "\n"
 
 
+def _blame_root(variant) -> str | None:
+    """The root cause of the failing pointer's blame chain, from the
+    first cured run that carries one (failure forensics)."""
+    for r in variant.runs:
+        failure = r.failure
+        if failure and failure.get("blame"):
+            last = failure["blame"][-1]
+            if "src" not in last:
+                return last["cause"]
+    return None
+
+
 def report_to_markdown(report: CampaignReport) -> str:
     """The campaign as the paper-style experiment table: per-workload
     injected/caught counts plus the per-class error breakdown."""
@@ -46,14 +58,17 @@ def report_to_markdown(report: CampaignReport) -> str:
             f"{sum(1 for v in vs if v.engines_agree)} | "
             f"{crashes} | {survives} |")
     lines += ["", "| Mutation class | Expected error | Injected | "
-              "Caught |", "|---|---|---|---|"]
+              "Caught | Blame root |", "|---|---|---|---|---|"]
     by_class: dict[str, list] = {}
     for v in report.variants:
         by_class.setdefault(v.mclass, []).append(v)
     for mc, vs in by_class.items():
         expected = Counter(v.expected for v in vs).most_common(1)[0][0]
+        roots = Counter(r for r in map(_blame_root, vs)
+                        if r is not None)
+        root = roots.most_common(1)[0][0] if roots else "-"
         lines.append(f"| {mc} | {expected} | {len(vs)} | "
-                     f"{sum(1 for v in vs if v.caught)} |")
+                     f"{sum(1 for v in vs if v.caught)} | {root} |")
     missed = [v for v in report.variants
               if not (v.caught and v.engines_agree)]
     if missed:

@@ -137,6 +137,9 @@ class Interpreter:
         self.prog = prog
         self.cured_prog = cured
         self.cured = cured is not None
+        # blame graph for failure forensics, built lazily on the first
+        # failing check whose node carries provenance
+        self._blame_graph = None
         self.hierarchy = cured.hierarchy if cured else None
         self.shadow = shadow
         if self.cured:
@@ -773,7 +776,33 @@ class Interpreter:
         engines route their check raises through here)."""
         attach_failure(exc, check=c.kind.value,
                        pointer_kind=_check_pointer_kind(c),
-                       function=fname, site=c.site)
+                       function=fname, site=c.site,
+                       blame=self._check_blame(c))
+
+    def _check_blame(self, c: S.Check) -> Optional[list]:
+        """Blame chain of the pointer a failing Check guards (cached
+        on the Check node, like its static kind).  None unless the
+        program was cured with ``CureOptions.provenance`` on."""
+        cached = getattr(c, "_blame_cache", False)
+        if cached is not False:
+            return cached
+        blame: Optional[list] = None
+        try:
+            if c.args and self.cured_prog is not None:
+                u = T.unroll(c.args[0].type())
+                node = u.node if isinstance(u, T.TPtr) else None
+                if node is not None and node.prov:
+                    if self._blame_graph is None:
+                        from repro.obs.blame import BlameGraph
+                        self._blame_graph = BlameGraph.from_cured(
+                            self.cured_prog)
+                    ch = self._blame_graph.chain_of(node.id)
+                    if ch is not None:
+                        blame = [s.to_json() for s in ch.steps]
+        except Exception:
+            blame = None
+        c._blame_cache = blame  # type: ignore[attr-defined]
+        return blame
 
     def _exec_check_kind(self, c: S.Check, frame: Frame) -> None:
         self.cost.charge_check(c.kind)

@@ -10,11 +10,20 @@ Three layers, importable without pulling the heavy pipeline modules:
   deterministic by construction;
 * :mod:`repro.obs.diff` — threshold-gated comparison of two reports,
   the substrate of the CI regression gate
-  (``repro metrics diff --fail-on-regress``).
+  (``repro metrics diff --fail-on-regress``);
+* :mod:`repro.obs.provenance` / :mod:`repro.obs.blame` — the blame
+  graph recorded during inference and the explain/forensics layer on
+  top of it (``repro explain``, failure blame chains).
 """
 
+from repro.obs.blame import (EXPLAIN_SCHEMA, BlameChain, BlameGraph,
+                             diff_explain, explain_report,
+                             render_chain, render_explain,
+                             render_explain_diff)
 from repro.obs.diff import (DiffResult, Finding, Thresholds,
                             diff_reports, render_diff)
+from repro.obs.provenance import (SEED_CAUSES, SPREAD_CAUSES,
+                                  Provenance, describe)
 from repro.obs.metrics import (SCHEMA, MetricsReport, SiteStat,
                                WorkloadMetrics,
                                collect_metrics,
@@ -23,9 +32,15 @@ from repro.obs.metrics import (SCHEMA, MetricsReport, SiteStat,
 from repro.obs.serialize import (load_json, round_floats,
                                  stable_dumps, write_json)
 from repro.obs.tracer import (TRACER, SpanRecord, Tracer,
-                              phase_seconds_of, span)
+                              chrome_trace, phase_seconds_of, span,
+                              write_chrome_trace)
 
 __all__ = [
+    "EXPLAIN_SCHEMA", "BlameChain", "BlameGraph", "diff_explain",
+    "explain_report", "render_chain", "render_explain",
+    "render_explain_diff",
+    "SEED_CAUSES", "SPREAD_CAUSES", "Provenance", "describe",
+    "chrome_trace", "write_chrome_trace",
     "DiffResult", "Finding", "Thresholds", "diff_reports",
     "render_diff",
     "SCHEMA", "MetricsReport", "SiteStat", "WorkloadMetrics",

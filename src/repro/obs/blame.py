@@ -1,0 +1,304 @@
+"""Blame graphs: explain *why* inference chose each pointer kind.
+
+This is the repo's stand-in for the paper's "CCured browser"
+(Sections 2 and 5): given a cured program whose analysis ran with
+``CureOptions.provenance`` on, the :class:`BlameGraph` walks each
+non-SAFE node's provenance records (:mod:`repro.obs.provenance`) back
+to the seed that started the chain — the one bad cast, pragma,
+downcast or arithmetic site the programmer should look at — and ranks
+root causes by how many nodes they explain ("the cast in parse
+explains 64% of WILD nodes").  ``repro explain`` renders these; the
+``diff_explain`` comparison drives the annotate→re-infer→compare
+porting loop, and failure forensics attach a chain to every
+:class:`~repro.runtime.checks.CheckFailure`.
+
+The module is duck-typed over qualifier nodes (it never imports
+:mod:`repro.core`) so the ``repro.obs`` package stays importable from
+inside the core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.cil.visitor import each_pointer, type_occurrences
+from repro.obs.provenance import Provenance
+
+#: schema tag of ``repro explain --json`` payloads
+EXPLAIN_SCHEMA = "repro.obs.blame/1"
+
+#: the provenance state a final kind maps to (SAFE has none)
+_STATE_OF_KIND = {"WILD": "WILD", "RTTI": "RTTI",
+                  "SEQ": "SEQ", "FSEQ": "SEQ"}
+
+
+@dataclass
+class BlameChain:
+    """The provenance walk from one node back to its root cause.
+
+    ``steps[0]`` is the record on the node itself; each following step
+    is the record on the previous step's ``src`` node.  The chain is
+    *complete* when it ends at a seed record.
+    """
+
+    node_id: int
+    kind: str
+    where: str
+    steps: list[Provenance]
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.steps) and self.steps[-1].is_seed
+
+    @property
+    def root(self) -> Optional[Provenance]:
+        return self.steps[-1] if self.complete else None
+
+    def root_key(self) -> str:
+        r = self.root
+        if r is None:
+            return "(unexplained)"
+        return f"{r.cause}: {r.where}"
+
+    def to_json(self) -> dict:
+        return {"node": self.node_id, "kind": self.kind,
+                "where": self.where, "complete": self.complete,
+                "steps": [s.to_json() for s in self.steps]}
+
+
+def render_chain(chain: dict, indent: str = "  ") -> list[str]:
+    """Human-readable lines for a chain's JSON form."""
+    lines = [f"{chain['where']} — {chain['kind']}"]
+    for s in chain["steps"]:
+        if "src" in s:
+            lines.append(f"{indent}via {s['via']} edge from node "
+                         f"{s['src']} ({s['cause']})")
+        else:
+            lines.append(f"{indent}ROOT {s['cause']}: {s['where']}")
+    if not chain.get("complete", True):
+        lines.append(f"{indent}(chain incomplete — provenance was "
+                     "not recorded)")
+    return lines
+
+
+class BlameGraph:
+    """All qualifier nodes of one analysis, indexed by id."""
+
+    def __init__(self, nodes: dict[int, object]) -> None:
+        self.nodes = nodes
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_analysis(cls, an) -> "BlameGraph":
+        """Collect every node of ``an``: the recorded ones, the ones
+        attached to any syntactic type occurrence (this reaches nodes
+        created lazily inside WILD base types), and the closure over
+        constraint edges and provenance sources."""
+        nodes: dict[int, object] = {}
+        stack = list(an.nodes)
+        for t, _where in type_occurrences(an.prog):
+            each_pointer(t, lambda p: (
+                stack.append(p.node) if p.node is not None else None))
+        while stack:
+            n = stack.pop()
+            if n is None or n.id in nodes:
+                continue
+            nodes[n.id] = n
+            stack.extend(n.compat)
+            stack.extend(n.same)
+            stack.extend(n.rtti_back)
+            stack.extend(n.seq_back)
+            stack.extend(n.flow_out)
+        return cls(nodes)
+
+    @classmethod
+    def from_cured(cls, cured) -> "BlameGraph":
+        return cls.from_analysis(cured.analysis)
+
+    # -- chains -------------------------------------------------------
+
+    def chain_of(self, node_id: int) -> Optional[BlameChain]:
+        """The blame chain of a node, or None if it is SAFE/unknown."""
+        n = self.nodes.get(node_id)
+        if n is None or not n.solved:
+            return None
+        state = _STATE_OF_KIND.get(n.kind.name)
+        if state is None:
+            return None
+        steps: list[Provenance] = []
+        seen: set[int] = set()
+        cur = n
+        while cur is not None and cur.id not in seen:
+            seen.add(cur.id)
+            p = cur.prov_for(state)
+            if p is None:
+                break
+            steps.append(p)
+            if p.src is None:
+                break
+            cur = self.nodes.get(p.src)
+        return BlameChain(n.id, n.kind.name, n.where, steps)
+
+    def chains(self,
+               nodes: Optional[Iterable] = None) -> list[BlameChain]:
+        """Chains of all (or the given) non-SAFE nodes, by node id."""
+        pool = self.nodes.values() if nodes is None else nodes
+        out = []
+        for n in sorted(pool, key=lambda n: n.id):
+            ch = self.chain_of(n.id)
+            if ch is not None:
+                out.append(ch)
+        return out
+
+    # -- root-cause ranking -------------------------------------------
+
+    def root_cause_counts(self) -> dict[str, dict[str, int]]:
+        """Per state, how many nodes each root cause explains."""
+        out: dict[str, dict[str, int]] = {}
+        for ch in self.chains():
+            state = _STATE_OF_KIND[ch.kind]
+            per = out.setdefault(state, {})
+            key = ch.root_key()
+            per[key] = per.get(key, 0) + 1
+        return out
+
+    def ranking(self, state: str = "WILD") -> list[dict]:
+        """Root causes of one state, most-explaining first."""
+        per = self.root_cause_counts().get(state, {})
+        total = sum(per.values()) or 1
+        rows = [{"cause": k, "nodes": v, "share": v / total}
+                for k, v in per.items()]
+        rows.sort(key=lambda r: (-r["nodes"], r["cause"]))
+        return rows
+
+
+# -- explain reports ------------------------------------------------------
+
+
+def explain_report(cured, name: str, *,
+                   function: Optional[str] = None,
+                   var: Optional[str] = None) -> dict:
+    """The ``repro explain`` payload for one cured program."""
+    graph = BlameGraph.from_cured(cured)
+    an = cured.analysis
+    counts: dict[str, int] = {}
+    for ch in graph.chains():
+        counts[ch.kind] = counts.get(ch.kind, 0) + 1
+    decls = [n for n in an.decl_nodes
+             if _match(n.where, function, var)]
+    chains = [ch.to_json() for ch in graph.chains(decls)]
+    return {
+        "schema": EXPLAIN_SCHEMA,
+        "name": name,
+        "nodes": len(graph.nodes),
+        "pointer_decls": len(an.decl_nodes),
+        "kind_pct": cured.kind_percentages(),
+        "non_safe_nodes": counts,
+        "root_causes": {state: graph.ranking(state)
+                        for state in sorted(
+                            graph.root_cause_counts())},
+        "chains": chains,
+    }
+
+
+def _match(where: str, function: Optional[str],
+           var: Optional[str]) -> bool:
+    """Filter declaration where-strings (``local f:x``, ``var x``,
+    ``field c.f`` ...) by function and/or variable name."""
+    if function is not None:
+        if (f" {function}:" not in where
+                and where != f"fun {function}"):
+            return False
+    if var is not None:
+        name = where.split(" ", 1)[-1] if " " in where else where
+        short = name.split(":")[-1].split(".")[-1]
+        if var not in (name, short):
+            return False
+    return True
+
+
+def render_explain(report: dict, top: int = 10,
+                   max_chains: int = 40) -> str:
+    """Human-readable form of an explain report."""
+    pct = report["kind_pct"]
+    kinds = " ".join(f"{k}={v:.1%}" for k, v in pct.items())
+    lines = [f"{report['name']}: {report['pointer_decls']} pointer "
+             f"declaration(s), {report['nodes']} node(s)",
+             f"  kinds: {kinds}"]
+    for state, rows in report["root_causes"].items():
+        total = sum(r["nodes"] for r in rows)
+        lines.append(f"{state} root causes ({total} node(s)):")
+        for r in rows[:top]:
+            lines.append(f"  {r['share'] * 100:5.1f}%  "
+                         f"{r['nodes']:4d}  {r['cause']}")
+        if len(rows) > top:
+            lines.append(f"  ... {len(rows) - top} more")
+    chains = report["chains"]
+    if chains:
+        lines.append(f"blame chains ({len(chains)} non-SAFE "
+                     "declaration(s)):")
+        for ch in chains[:max_chains]:
+            for ln in render_chain(ch):
+                lines.append("  " + ln)
+        if len(chains) > max_chains:
+            lines.append(f"  ... {len(chains) - max_chains} more "
+                         "(use --function/--var to narrow)")
+    else:
+        lines.append("no non-SAFE declarations match")
+    return "\n".join(lines)
+
+
+# -- explain diff ---------------------------------------------------------
+
+
+def diff_explain(baseline: dict, current: dict) -> dict:
+    """Compare two explain reports: did the annotation shrink WILD?
+
+    The verdict is ``regressed`` when WILD nodes grew or a new WILD
+    root cause appeared, ``improved`` when WILD nodes shrank, else
+    ``unchanged`` — the paper's fix-one-cast-watch-WILD-drop loop.
+    """
+    rows = []
+    for state in sorted(set(baseline.get("root_causes", {}))
+                        | set(current.get("root_causes", {}))):
+        b = {r["cause"]: r["nodes"]
+             for r in baseline.get("root_causes", {}).get(state, [])}
+        c = {r["cause"]: r["nodes"]
+             for r in current.get("root_causes", {}).get(state, [])}
+        for cause in sorted(set(b) | set(c)):
+            bn, cn = b.get(cause, 0), c.get(cause, 0)
+            if bn != cn:
+                rows.append({"state": state, "cause": cause,
+                             "baseline": bn, "current": cn,
+                             "delta": cn - bn})
+    bw = baseline.get("non_safe_nodes", {}).get("WILD", 0)
+    cw = current.get("non_safe_nodes", {}).get("WILD", 0)
+    new_roots = [r for r in rows
+                 if r["state"] == "WILD" and r["baseline"] == 0]
+    if cw > bw or new_roots:
+        verdict = "regressed"
+    elif cw < bw:
+        verdict = "improved"
+    else:
+        verdict = "unchanged"
+    return {"schema": EXPLAIN_SCHEMA,
+            "baseline": baseline.get("name", "?"),
+            "current": current.get("name", "?"),
+            "wild_nodes": {"baseline": bw, "current": cw},
+            "causes": rows, "verdict": verdict}
+
+
+def render_explain_diff(diff: dict) -> str:
+    w = diff["wild_nodes"]
+    lines = [f"explain diff: {diff['baseline']} -> "
+             f"{diff['current']}",
+             f"  WILD nodes: {w['baseline']} -> {w['current']}"]
+    for r in diff["causes"]:
+        sign = "+" if r["delta"] > 0 else ""
+        lines.append(f"  [{r['state']}] {sign}{r['delta']:d}  "
+                     f"{r['cause']} ({r['baseline']} -> "
+                     f"{r['current']})")
+    lines.append(f"verdict: {diff['verdict'].upper()}")
+    return "\n".join(lines)

@@ -145,6 +145,27 @@ def _diff_workload(res: DiffResult, base: dict, cur: dict,
             "note", name, "gone-check-site", b_sites[key], None,
             f"{kind} in {fn}()"))
 
+    # Blame root causes: compared only when both collections recorded
+    # provenance.  The counts are exact static facts, so any growth in
+    # the nodes a root cause explains regresses — a SAFE→WILD slip
+    # fails CI naming the *cause*, not just the count.
+    b_rc, c_rc = base.get("root_causes"), cur.get("root_causes")
+    if b_rc is not None and c_rc is not None:
+        for state in sorted(set(b_rc) | set(c_rc)):
+            b_per = b_rc.get(state, {})
+            c_per = c_rc.get(state, {})
+            for cause in sorted(set(b_per) | set(c_per)):
+                bn = b_per.get(cause, 0)
+                cn = c_per.get(cause, 0)
+                if cn > bn:
+                    res.findings.append(Finding(
+                        "regress", name, f"root-cause:{state}",
+                        bn, cn, cause))
+                elif cn < bn:
+                    res.findings.append(Finding(
+                        "improve", name, f"root-cause:{state}",
+                        bn, cn, cause))
+
     # Wall-time phases: compared only when both sides measured them,
     # with a deliberately generous threshold (CI machines are noisy).
     b_ph, c_ph = base.get("phases"), cur.get("phases")

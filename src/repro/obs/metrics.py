@@ -76,6 +76,11 @@ class WorkloadMetrics:
     #: wall seconds per phase; non-deterministic, empty unless the
     #: collection ran with timing enabled
     phases: dict[str, float] = field(default_factory=dict)
+    #: per-state root-cause node counts from the blame graph
+    #: (``{"WILD": {"bad-cast: ...": 3}, ...}``); None unless the
+    #: collection ran with provenance enabled, and omitted from JSON
+    #: then — the committed baseline stays byte-identical
+    root_causes: Optional[dict[str, dict[str, int]]] = None
 
     @property
     def ccured_ratio(self) -> float:
@@ -107,6 +112,10 @@ class WorkloadMetrics:
         }
         if include_timing and self.phases:
             out["phases"] = dict(self.phases)
+        if self.root_causes is not None:
+            out["root_causes"] = {
+                state: dict(per)
+                for state, per in sorted(self.root_causes.items())}
         return out
 
 
@@ -175,13 +184,19 @@ def site_table(prog: Program) -> dict[int, tuple[str, str]]:
 def collect_workload_metrics(w, *, engine: str = "closures",
                              optimize: Optional[str] = None,
                              scale: Optional[int] = None,
-                             timing: bool = False) -> WorkloadMetrics:
+                             timing: bool = False,
+                             provenance: bool = False,
+                             trace: Optional[list] = None
+                             ) -> WorkloadMetrics:
     """Measure one workload raw + cured and assemble its metrics.
 
     Uses the bench harness's pristine parse/cure caches, so repeated
     collections (and collections sharing trees with benchmark tests)
     pay the pipeline once.  With ``timing=True`` the tracer captures
-    per-phase wall seconds around the same calls.
+    per-phase wall seconds around the same calls; passing a ``trace``
+    list additionally accumulates the raw span records (for Chrome
+    trace export).  With ``provenance=True`` the cure records blame
+    provenance and the metrics carry per-state root-cause counts.
     """
     from repro.bench.harness import (cached_source, count_lines,
                                      pristine_cure, pristine_parse)
@@ -190,7 +205,7 @@ def collect_workload_metrics(w, *, engine: str = "closures",
     from repro.obs.tracer import TRACER, phase_seconds_of
 
     opts = CureOptions(trust_bad_casts=w.trust_bad_casts,
-                       optimize=optimize)
+                       optimize=optimize, provenance=provenance)
     args = list(w.args) or None
 
     def _run() -> tuple:
@@ -204,12 +219,21 @@ def collect_workload_metrics(w, *, engine: str = "closures",
         return cured, raw_res, cured_res, hits
 
     phases: dict[str, float] = {}
-    if timing:
+    if timing or trace is not None:
         with TRACER.capture() as records:
-            cured, raw_res, cured_res, hits = _run()
-        phases = phase_seconds_of(records)
+            with TRACER.span("workload", name=w.name):
+                cured, raw_res, cured_res, hits = _run()
+        if timing:
+            phases = phase_seconds_of(records)
+        if trace is not None:
+            trace.extend(records)
     else:
         cured, raw_res, cured_res, hits = _run()
+
+    root_causes: Optional[dict[str, dict[str, int]]] = None
+    if provenance:
+        from repro.obs.blame import BlameGraph
+        root_causes = BlameGraph.from_cured(cured).root_cause_counts()
 
     table = site_table(cured.prog)
     sites = [SiteStat(site, fn, kind, hits.get(site, 0))
@@ -242,6 +266,7 @@ def collect_workload_metrics(w, *, engine: str = "closures",
         sites=sites,
         function_hits=function_hits,
         phases=phases,
+        root_causes=root_causes,
     )
 
 
@@ -249,6 +274,8 @@ def collect_metrics(workloads: Sequence, *, engine: str = "closures",
                     optimize: Optional[str] = None,
                     scale: Optional[int] = None,
                     timing: bool = False,
+                    provenance: bool = False,
+                    trace: Optional[list] = None,
                     progress=None) -> MetricsReport:
     """Collect a :class:`MetricsReport` over ``workloads`` (ordered
     by name, so reports are position-independent)."""
@@ -259,7 +286,9 @@ def collect_metrics(workloads: Sequence, *, engine: str = "closures",
     for w in sorted(workloads, key=lambda w: w.name):
         wm = collect_workload_metrics(w, engine=engine,
                                       optimize=optimize, scale=scale,
-                                      timing=timing)
+                                      timing=timing,
+                                      provenance=provenance,
+                                      trace=trace)
         report.workloads.append(wm)
         if progress is not None:
             progress(f"{wm.name:>18}  ratio {wm.ccured_ratio:5.2f}x  "

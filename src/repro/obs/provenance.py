@@ -1,0 +1,124 @@
+"""Provenance records for pointer-kind inference (the blame graph).
+
+CCured's porting workflow (paper Sections 2 and 5) relies on a browser
+that explains *why* inference gave a pointer its kind, so that the
+programmer can find the one bad cast whose fix collapses a whole WILD
+region.  This module defines the record the constraint generator and
+solver attach to qualifier nodes whenever they change a node's state:
+
+* a **seed** record (``src is None``) marks a root cause written by the
+  program itself — a bad cast, a ``ccuredWild`` pragma, pointer
+  arithmetic, a downcast, an int-to-pointer cast, or a solver conflict;
+* a **spread** record points (``src``) at the node the state arrived
+  from and names the constraint edge it crossed (``via``).
+
+A node stores at most one record per state (WILD/RTTI/SEQ), appended
+only on the SAFE→state transition, so recording is allocation-light:
+following ``src`` links therefore walks each state monotonically
+earlier in solver time and must terminate at a seed.  The chain walk
+itself lives in :mod:`repro.obs.blame`; this module is intentionally
+dependency-free so :mod:`repro.core.qualifiers` can import it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: provenance states a node can enter (FSEQ is folded into SEQ: both
+#: arise from the same ``arith`` flag and the same causes).
+STATES = ("WILD", "RTTI", "SEQ")
+
+#: causes that start a blame chain (their records have ``src is None``).
+SEED_CAUSES = frozenset({
+    "bad-cast",            # WILD: unclassifiable cast between types
+    "wild-pragma",         # WILD: #pragma ccuredWild / wild_roots
+    "seq-cast-incompat",   # WILD: SEQ cast with non-commensurate sizes
+    "arith-rtti-conflict",  # WILD: arithmetic on an RTTI pointer
+    "downcast",            # RTTI: source of a checked downcast
+    "pointer-arith",       # SEQ:  p + i / p - i / p[i]
+    "pointer-diff",        # SEQ:  p - q
+    "int-to-ptr",          # SEQ:  (T *)some_int
+    "solver",              # safety net: state forced at final assignment
+})
+
+#: causes that continue a chain (their records have a ``src`` node).
+SPREAD_CAUSES = frozenset({
+    "wild-spread",   # WILD crossing compat/same/group/base/cast
+    "rtti-spread",   # RTTI flowing backwards along rtti_back edges
+    "seq-spread",    # bounds obligation flowing along seq_back edges
+    "int-taint",     # int-to-ptr taint following forward flows
+})
+
+#: constraint-graph edges a spread record can name.
+VIA_EDGES = ("compat", "same", "group", "base", "cast",
+             "rtti_back", "seq_back", "flow")
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """One state change on a qualifier node.
+
+    ``state`` is the state entered (one of :data:`STATES`); ``cause``
+    names why (:data:`SEED_CAUSES` or :data:`SPREAD_CAUSES`); ``via``
+    is the constraint edge crossed (empty for seeds); ``src`` is the id
+    of the node the state spread from (None for seeds); ``where`` is
+    the program location — the seed's cast/arith site, or the node's
+    own declaration site for spread records.
+    """
+
+    state: str
+    cause: str
+    via: str = ""
+    src: Optional[int] = None
+    where: str = ""
+
+    @property
+    def is_seed(self) -> bool:
+        return self.src is None
+
+    def to_json(self) -> dict:
+        out: dict = {"state": self.state, "cause": self.cause,
+                     "where": self.where}
+        if self.src is not None:
+            out["via"] = self.via
+            out["src"] = self.src
+        return out
+
+
+#: legacy ``Node.reason`` strings, derived from provenance so the
+#: one-line reason and the blame graph can never disagree.
+_SEED_REASONS = {
+    "bad-cast": "bad cast",
+    "wild-pragma": "ccuredWild pragma",
+    "seq-cast-incompat": "SEQ cast incompatible sizes",
+    "arith-rtti-conflict": "arith+rtti conflict",
+    "downcast": "downcast source",
+    "pointer-arith": "pointer arithmetic",
+    "pointer-diff": "pointer difference",
+    "int-to-ptr": "int-to-ptr cast",
+    "solver": "solver assignment",
+}
+
+_WILD_SPREAD_REASONS = {
+    "compat": "flows to/from WILD",
+    "cast": "flows to/from WILD",
+    "same": "representation tied to WILD",
+    "group": "representation tied to WILD",
+    "base": "inside WILD referent",
+}
+
+
+def describe(p: Provenance) -> str:
+    """The one-line human reason for a provenance record."""
+    if p.cause in _SEED_REASONS:
+        return _SEED_REASONS[p.cause]
+    if p.cause == "wild-spread":
+        return _WILD_SPREAD_REASONS.get(p.via, "flows to/from WILD")
+    if p.cause == "rtti-spread":
+        return "RTTI flows backwards here"
+    if p.cause == "seq-spread":
+        return "bounds must originate here"
+    if p.cause == "int-taint":
+        return "tainted by int-to-ptr value"
+    return p.cause

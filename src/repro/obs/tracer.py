@@ -176,3 +176,45 @@ def phase_seconds_of(records: list[SpanRecord],
             continue
         out[r.name] = out.get(r.name, 0.0) + r.duration
     return out
+
+
+def chrome_trace(records: list[SpanRecord],
+                 process_name: str = "repro") -> dict:
+    """Convert span records to the Chrome ``trace_event`` JSON format
+    (load the file in ``chrome://tracing`` or https://ui.perfetto.dev).
+
+    Each span becomes one complete ("X") event; timestamps and
+    durations are microseconds from the tracer's epoch.  All spans go
+    on one thread — the pipeline is single-threaded, and nesting is
+    reconstructed by the viewer from the enclosing intervals.
+    """
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+         "args": {"name": process_name}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+         "args": {"name": "pipeline"}},
+    ]
+    for r in sorted(records, key=lambda r: (r.start, r.depth)):
+        ev: dict = {"name": r.name, "ph": "X", "pid": 1, "tid": 1,
+                    "ts": round(r.start * 1e6, 3),
+                    "dur": round(r.duration * 1e6, 3),
+                    "cat": "pipeline"}
+        if r.attrs:
+            ev["args"] = {k: v for k, v in sorted(r.attrs.items())}
+        events.append(ev)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: list[SpanRecord], path: str,
+                       process_name: str = "repro") -> None:
+    """Write :func:`chrome_trace` output to ``path`` (``-`` for
+    stdout)."""
+    import json
+    import sys
+    payload = json.dumps(chrome_trace(records, process_name),
+                         indent=1, sort_keys=False)
+    if path == "-":
+        sys.stdout.write(payload + "\n")
+    else:
+        with open(path, "w") as fh:
+            fh.write(payload + "\n")

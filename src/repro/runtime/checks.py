@@ -34,6 +34,10 @@ class CheckFailure:
     function: Optional[str] = None       # enclosing function
     site: Optional[int] = None           # Check.site statement id
     detail: str = ""                     # the human-readable message
+    #: blame chain of the failing pointer (step dicts, innermost
+    #: first, ending at the inference's root cause) — present when the
+    #: program was cured with ``CureOptions.provenance`` on
+    blame: Optional[list] = None
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -67,7 +71,8 @@ def attach_failure(exc: MemorySafetyError, *,
                    pointer_kind: Optional[str] = None,
                    function: Optional[str] = None,
                    site: Optional[int] = None,
-                   detail: str = "") -> MemorySafetyError:
+                   detail: str = "",
+                   blame: Optional[list] = None) -> MemorySafetyError:
     """Attach a :class:`CheckFailure` record to ``exc`` (first writer
     wins: a record attached at the innermost raise site is never
     overwritten by an outer handler).  Returns ``exc`` for ``raise
@@ -77,7 +82,7 @@ def attach_failure(exc: MemorySafetyError, *,
             error=type(exc).__name__, check=check,
             pointer_kind=pointer_kind,
             function=function or (exc.where or None), site=site,
-            detail=detail or str(exc))
+            detail=detail or str(exc), blame=blame)
     return exc
 
 
