@@ -1,0 +1,24 @@
+/* The reuse differential: a use-after-free that raw execution
+ * survives silently and the temporal cure traps deterministically.
+ *
+ *   python -m repro run --raw --reuse-freed demo/uaf.c
+ *     -> prints 7777 (q's write, read through the dangling p)
+ *   python -m repro run --temporal --reuse-freed demo/uaf.c
+ *     -> UseAfterFreeError: stale pointer, key/lock mismatch
+ */
+#include <stdlib.h>
+#include <stdio.h>
+
+int main(void) {
+    int *p = (int *)malloc(8);
+    p[0] = 1111;
+    free(p);
+
+    /* same size: the recycling allocator hands back p's address */
+    int *q = (int *)malloc(8);
+    q[0] = 7777;
+
+    printf("%d\n", p[0]);   /* dangling read */
+    free(q);
+    return 0;
+}

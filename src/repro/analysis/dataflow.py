@@ -41,6 +41,16 @@ set intersection).  Facts are plain tuples:
     brands only ever refine to subtypes (a would-be conflicting
     refinement raises before this point is reached).
 
+``("tempok", vid)``
+    ``vid`` passed a temporal ``CHECK_ALIVE`` (lock-and-key) check.
+    Only ``free``/frame-pop can invalidate a lock, and both happen
+    inside calls — which clear every fact — so a later ``CHECK_ALIVE``
+    on the unwritten ``vid`` must pass too.  Note the *spatial*
+    ``("alive", vid)`` fact does **not** imply this one: the spatial
+    liveness screen lets freed heap homes through (the conservative-GC
+    accident), so only a passed temporal check may elide a temporal
+    check.
+
 Kill sets are conservative and reuse the straight-line pass's alias
 reasoning (:func:`repro.core.optimize._vars_of_exp`):
 
@@ -173,6 +183,13 @@ def gen_check_facts(dom: FactDomain, facts: FactSet,
         v = ptr_var(c.args[0])
         if v is not None:
             dom.add_var_fact(facts, ("nonnull", v.vid), v)
+            dom.add_var_fact(facts, ("alive", v.vid), v)
+    if c.kind is S.CheckKind.ALIVE:
+        v = ptr_var(c.args[0])
+        if v is not None:
+            # a passed temporal check screens the lock *and* the
+            # spatial home state (for non-null values)
+            dom.add_var_fact(facts, ("tempok", v.vid), v)
             dom.add_var_fact(facts, ("alive", v.vid), v)
     if c.kind is S.CheckKind.RTTI_CAST and c.rtti is not None:
         v = ptr_var(c.args[0])

@@ -20,7 +20,10 @@ Removal rules — a check is removable when:
 * ``CHECK_SEQ_BOUNDS`` / ``CHECK_FSEQ_BOUNDS`` / ``CHECK_SEQ_TO_SAFE``
   of ``size`` bytes on ``p``: ``InBounds(p, n)`` holds with
   ``n >= size``;
-* ``CHECK_RTTI_CAST`` against ``t`` on ``p``: ``Rtti(p, t)`` holds.
+* ``CHECK_RTTI_CAST`` against ``t`` on ``p``: ``Rtti(p, t)`` holds;
+* ``CHECK_ALIVE`` on ``p``: ``TempOk(p)`` holds — ``p`` passed a
+  temporal check and nothing since could have freed its home (frees
+  live inside calls, which clear all facts).
 
 Everything else (``CHECK_FUNPTR``, ``CHECK_INDEX``, WILD checks,
 stack-escape stores) is only ever removed through an identical
@@ -63,6 +66,12 @@ def _removable(facts: FactSet, c: S.Check) -> bool:
         v = ptr_var(c.args[0])
         return (v is not None
                 and ("rtti", v.vid, repr(c.rtti)) in facts)
+    if c.kind is K.ALIVE:
+        # only a previously passed temporal check proves a temporal
+        # check — spatial Alive(p) is NOT enough (freed heap homes
+        # pass the spatial screen)
+        v = ptr_var(c.args[0])
+        return v is not None and ("tempok", v.vid) in facts
     return False
 
 

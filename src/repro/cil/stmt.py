@@ -64,6 +64,10 @@ class CheckKind(enum.Enum):
     #: Converting a SAFE pointer to SEQ: manufactures bounds
     #: ``{b=p, e=p+sizeof(t)}`` — no failure mode, charged for cost.
     SAFE_TO_SEQ = "CHECK_SAFE_TO_SEQ"
+    #: Temporal (lock-and-key) check, emitted before dereferences when
+    #: ``CureOptions.temporal`` is on: the home must not be freed, and
+    #: a keyed pointer's key must match the home's current lock.
+    ALIVE = "CHECK_ALIVE"
 
 
 class Instr:

@@ -68,6 +68,7 @@ def _options(args: argparse.Namespace,
         all_split=args.all_split,
         optimize=_optimize_level(args),
         provenance=provenance,
+        temporal=getattr(args, "temporal", False),
     )
 
 
@@ -86,6 +87,10 @@ def _add_cure_flags(p: argparse.ArgumentParser) -> None:
                    help="trust remaining bad casts instead of WILD")
     p.add_argument("--all-split", action="store_true",
                    help="use the compatible representation everywhere")
+    p.add_argument("--temporal", action="store_true",
+                   help="also emit lock-and-key temporal checks "
+                        "(CHECK_ALIVE): use-after-free traps even "
+                        "when the allocator recycles addresses")
     p.add_argument("--no-optimize", action="store_true",
                    help="keep redundant checks "
                         "(alias for --optimize=none)")
@@ -117,7 +122,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             prog = parse_program(source, args.file,
                                  include_dirs=args.include or None)
             result = run_raw(prog, args=args.args, stdin=stdin,
-                             engine=args.engine)
+                             engine=args.engine,
+                             reuse_freed=args.reuse_freed)
         else:
             # provenance on: a trapping run explains the failing
             # pointer's kind with its blame chain
@@ -126,7 +132,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                          name=args.file,
                          include_dirs=args.include or None)
             result = run_cured(cured, args=args.args, stdin=stdin,
-                               engine=args.engine)
+                               engine=args.engine,
+                               reuse_freed=args.reuse_freed)
     except MemorySafetyError as exc:
         print(result_stdout_of(exc), end="")
         print(f"[{type(exc).__name__}] {exc}", file=sys.stderr)
@@ -412,7 +419,8 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     report = collect_metrics(
         selected, engine=args.engine, optimize=args.optimize,
         scale=args.scale, timing=args.timing,
-        provenance=args.provenance, trace=trace_records,
+        provenance=args.provenance, temporal=args.temporal,
+        trace=trace_records,
         progress=(None if (args.quiet or not args.json) else
                   lambda line: print(line, file=sys.stderr)))
     if args.trace:
@@ -459,6 +467,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pass this process's stdin to the program")
     p_run.add_argument("--stats", action="store_true",
                        help="print steps/cycles to stderr")
+    p_run.add_argument("--reuse-freed", action="store_true",
+                       help="allocator recycles freed heap addresses "
+                            "(pair with --temporal: the cured run "
+                            "traps stale pointers a raw run reads "
+                            "silently)")
     _add_engine_flag(p_run)
     _add_cure_flags(p_run)
     p_run.set_defaults(fn=cmd_run)
@@ -553,6 +566,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record blame provenance and include "
                             "per-state root-cause counts in the "
                             "report (gated by `metrics diff`)")
+    p_met.add_argument("--temporal", action="store_true",
+                       help="also cure+run each workload with "
+                            "lock-and-key temporal checking and "
+                            "include its CHECK_ALIVE counts and "
+                            "cycle overhead (gated by "
+                            "`metrics diff`)")
     p_met.add_argument("--top", type=int, default=5, metavar="N",
                        help="hottest check sites listed per workload "
                             "in table output")

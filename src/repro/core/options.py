@@ -51,6 +51,14 @@ class CureOptions:
     #: None, derived from ``optimize_checks``: True means the default
     #: ``flow``, False means ``none``.
     optimize: Optional[str] = None
+    #: temporal (lock-and-key) memory safety: emit ``CHECK_ALIVE``
+    #: before dereferences, give every home a lock and heap pointers a
+    #: key, and make ``free``/frame-pop invalidate the lock — so
+    #: use-after-free traps deterministically even when the allocator
+    #: recycles addresses (``Memory(reuse_freed=True)``).  Off by
+    #: default: the committed metrics baseline measures the paper's
+    #: spatial checking only.
+    temporal: bool = False
     #: record blame-graph provenance on every qualifier-node kind
     #: change (see :mod:`repro.obs.provenance`).  Off by default so
     #: benches and the committed metrics baseline pay nothing; turned

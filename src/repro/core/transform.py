@@ -249,6 +249,10 @@ class Instrumenter:
                     # the tag belongs to the *accessed word*
                     self._check(S.CheckKind.WILD_READ_TAG,
                                 [E.AddrOf(lv)])
+            if self.an.options.temporal:
+                # lock-and-key liveness, after the spatial check (so
+                # null/bounds failures keep their spatial diagnosis)
+                self._check(S.CheckKind.ALIVE, [ptr], size=size)
         self._offset_checks(lv)
 
     def _lval_addr_checks(self, lv: E.Lval) -> None:

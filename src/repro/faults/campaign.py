@@ -183,10 +183,14 @@ def run_variant(w: Workload, spec: FaultSpec, *,
     # change can run.  Provenance is on so trapped failures carry the
     # blame chain of the failing pointer; both engines run the same
     # cured object, so the chains are engine-identical by construction
-    # (and engines_agree compares them).
+    # (and engines_agree compares them).  Temporal classes opt into
+    # lock-and-key checking (and, for the reuse class, the recycling
+    # allocator on every side — the raw run reads recycled memory
+    # where the cured run traps).
     cured = cure(base,
                  options=CureOptions(optimize=optimize,
-                                     provenance=True),
+                                     provenance=True,
+                                     temporal=spec.temporal),
                  name=f"{w.name}+{spec.mclass}")
 
     args = list(w.args) or None
@@ -196,13 +200,15 @@ def run_variant(w: Workload, spec: FaultSpec, *,
             lambda e=engine: run_cured(
                 cured, args=args, stdin=w.stdin,
                 max_steps=CURED_MAX_STEPS, engine=e,
-                detect_uninit=spec.detect_uninit),
+                detect_uninit=spec.detect_uninit,
+                reuse_freed=spec.reuse_freed),
             f"cured:{engine}")
         cured_runs.append(out)
         report.runs.append(out)
     raw_out = _classify(
         lambda: run_raw(raw_prog, args=args, stdin=w.stdin,
-                        max_steps=RAW_MAX_STEPS),
+                        max_steps=RAW_MAX_STEPS,
+                        reuse_freed=spec.reuse_freed),
         "raw")
     report.runs.append(raw_out)
 

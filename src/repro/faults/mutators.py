@@ -46,6 +46,8 @@ class FaultSpec:
     source: str                     # standalone C fragment with main()
     description: str                # what the bug is, for reports
     detect_uninit: bool = False     # cured runs need uninit poisoning
+    temporal: bool = False          # cure with lock-and-key checking
+    reuse_freed: bool = False       # run with the reusing allocator
     params: dict = field(default_factory=dict)  # seeded shape choices
 
 
@@ -273,6 +275,95 @@ def _link_undefined(rng: random.Random) -> FaultSpec:
         params={"n": n})
 
 
+def _double_free(rng: random.Random) -> FaultSpec:
+    n = rng.randrange(1, 9) * 4
+    use = rng.random() < 0.5
+    body = "    __fi_h[0] = 5;\n" if use else ""
+    return FaultSpec(
+        mclass="double-free",
+        expected=C.DoubleFreeError,
+        source=(
+            "extern void *malloc(int __fi_n);\n"
+            "extern void free(void *__fi_p);\n"
+            "int main(void) {\n"
+            f"    int *__fi_h = (int *)malloc({n});\n"
+            f"{body}"
+            "    free(__fi_h);\n"
+            "    free(__fi_h);\n"
+            "    return 0;\n"
+            "}\n"),
+        description=f"free called twice on the same {n}-byte heap "
+                    "block" + (" (used between)" if use else ""),
+        params={"n": n, "use": use})
+
+
+def _use_after_free_reuse(rng: random.Random) -> FaultSpec:
+    elems = rng.randrange(1, 9)
+    write = rng.random() < 0.5
+    v = rng.randrange(1000, 10000)
+    access = ("__fi_a[0] = 9;" if write
+              else "__fi_sink = __fi_a[0];")
+    return FaultSpec(
+        mclass="use-after-free-reuse",
+        expected=C.UseAfterFreeError,
+        source=(
+            "extern void *malloc(int __fi_n);\n"
+            "extern void free(void *__fi_p);\n"
+            "int __fi_sink;\n"
+            "int main(void) {\n"
+            f"    int *__fi_a = (int *)malloc({elems * 4});\n"
+            f"    __fi_a[0] = {v};\n"
+            "    free(__fi_a);\n"
+            f"    int *__fi_b = (int *)malloc({elems * 4});\n"
+            "    __fi_b[0] = 1;\n"
+            f"    {access}\n"
+            "    free(__fi_b);\n"
+            "    return 0;\n"
+            "}\n"),
+        description=f"{'write' if write else 'read'} through a "
+                    f"dangling pointer whose {elems * 4}-byte block "
+                    "was freed and its address recycled by a second "
+                    "malloc (lock-and-key mismatch)",
+        temporal=True,
+        reuse_freed=True,
+        params={"elems": elems, "write": write, "v": v})
+
+
+def _invalid_free(rng: random.Random) -> FaultSpec:
+    stack = rng.random() < 0.5
+    if stack:
+        source = (
+            "extern void free(void *__fi_p);\n"
+            "int main(void) {\n"
+            "    int __fi_local = 3;\n"
+            "    free(&__fi_local);\n"
+            "    return 0;\n"
+            "}\n")
+        what = "a stack local's address"
+        params: dict = {"stack": True}
+    else:
+        elems = rng.randrange(2, 9)
+        k = rng.randrange(1, elems)
+        source = (
+            "extern void *malloc(int __fi_n);\n"
+            "extern void free(void *__fi_p);\n"
+            "int main(void) {\n"
+            f"    int *__fi_h = (int *)malloc({elems * 4});\n"
+            f"    free(__fi_h + {k});\n"
+            "    return 0;\n"
+            "}\n")
+        what = f"an interior pointer ({k * 4} bytes into a " \
+               f"{elems * 4}-byte block)"
+        params = {"stack": False, "elems": elems, "k": k}
+    return FaultSpec(
+        mclass="invalid-free",
+        expected=C.InvalidFreeError,
+        source=source,
+        description=f"free of {what}, not the start of a live heap "
+                    "block",
+        params=params)
+
+
 #: mutation class name -> seeded builder.  Ordered: campaign reports
 #: list classes in this order.
 MUTATORS: dict[str, Callable[[random.Random], FaultSpec]] = {
@@ -286,6 +377,9 @@ MUTATORS: dict[str, Callable[[random.Random], FaultSpec]] = {
     "uninit-pointer": _uninitialized_pointer,
     "wild-library-compat": _wild_library_compat,
     "link-undefined": _link_undefined,
+    "double-free": _double_free,
+    "use-after-free-reuse": _use_after_free_reuse,
+    "invalid-free": _invalid_free,
 }
 
 

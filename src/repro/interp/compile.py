@@ -622,6 +622,11 @@ class _Compiler:
                     "'null dereference', f.fundec.name)\n"
                     "    ip._check_alive(v, f)\n"), env
 
+        if kind is K.ALIVE:
+            # the lock-and-key logic lives in one shared interpreter
+            # helper, so both engines raise identical errors
+            return prelude + "    ip._check_temporal(v, f)\n", env
+
         if kind in (K.SEQ_BOUNDS, K.SEQ_TO_SAFE):
             env.update(size=c.size or 1, _seq_msg=_seq_msg)
             if kind is K.SEQ_TO_SAFE:
@@ -1470,7 +1475,8 @@ class _Compiler:
                            "        return PtrVal(int(v))\n"
                            "    if v.b is None and v.addr != 0:\n"
                            "        return PtrVal(v.addr, b=v.addr, "
-                           "e=v.addr + size, rtti=v.rtti)\n"
+                           "e=v.addr + size, rtti=v.rtti, "
+                           "key=v.key)\n"
                            "    return v\n")
                     return _gen(src, env)
                 if kind is PointerKind.RTTI:

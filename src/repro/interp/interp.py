@@ -35,12 +35,15 @@ from repro.core.split import needs_metadata
 from repro.runtime import libc as libc_mod
 from repro.runtime.checks import (BoundsError, CompatibilityError,
                                   DanglingPointerError,
-                                  InterpreterLimitError, LinkError,
+                                  DoubleFreeError,
+                                  InterpreterLimitError,
+                                  InvalidFreeError, LinkError,
                                   MemorySafetyError,
                                   NullDereferenceError, ProgramAbort,
                                   ProgramExit, RttiCastError,
                                   SegmentationFault, StackEscapeError,
-                                  UninitializedError, WildTagError,
+                                  UninitializedError,
+                                  UseAfterFreeError, WildTagError,
                                   attach_failure)
 from repro.obs.tracer import TRACER
 from repro.runtime.cost import COST_WILD_TAG_UPDATE, CostModel
@@ -123,7 +126,8 @@ class Interpreter:
                  stdout_limit: int = 4_000_000,
                  deadline: Optional[float] = None,
                  detect_uninit: bool = False,
-                 site_hits: Optional[dict] = None) -> None:
+                 site_hits: Optional[dict] = None,
+                 reuse_freed: bool = False) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r} "
                              f"(expected one of {ENGINES})")
@@ -137,6 +141,11 @@ class Interpreter:
         self.prog = prog
         self.cured_prog = cured
         self.cured = cured is not None
+        #: temporal (lock-and-key) checking is active: the program was
+        #: cured with ``CureOptions.temporal`` (CHECK_ALIVE emitted),
+        #: heap allocations issue keys, and ``free`` releases locks
+        self.temporal = (cured is not None
+                         and cured.options.temporal)
         # blame graph for failure forensics, built lazily on the first
         # failing check whose node carries provenance
         self._blame_graph = None
@@ -149,7 +158,7 @@ class Interpreter:
             gaps = {"heap"}  # red zones on the heap, silent stack
         else:
             gaps = set()  # bare hardware: overflows corrupt neighbours
-        self.mem = Memory(gap_regions=gaps)
+        self.mem = Memory(gap_regions=gaps, reuse_freed=reuse_freed)
         self.cost = cost if cost is not None else CostModel()
         # attach before globals are initialized: the shadow tools see
         # every access from the very first write
@@ -331,8 +340,10 @@ class Interpreter:
     def stdout_text(self) -> str:
         return "".join(self._stdout)
 
-    # -- heap management (the CCured allocator never reuses homes, like
-    # the paper's conservative-GC configuration) ------------------------
+    # -- heap management.  Spatial-only cured mode never reuses homes,
+    # like the paper's conservative-GC configuration; temporal mode
+    # (and raw mode) may recycle addresses when the Memory was built
+    # with reuse_freed=True ---------------------------------------------
 
     def heap_alloc(self, size: int, name: str) -> Home:
         if self.mem.bytes_allocated > 1 << 28:
@@ -347,19 +358,53 @@ class Interpreter:
         if home is None or home.region != "heap":
             if self.cured:
                 raise attach_failure(
-                    BoundsError("free of non-heap pointer"),
+                    InvalidFreeError("free of non-heap pointer"),
                     check="FREE", function=self._current_function())
             return
         if self.shadow is not None:
+            # the shadow checker must observe every free *attempt* on a
+            # resolved heap block — including interior and double frees,
+            # which raw execution otherwise swallows silently — so that
+            # Purify/Valgrind-style baselines can flag them
             self.shadow.on_free(home)
+        if p.addr != home.base:
+            # C requires the exact pointer malloc returned
+            if self.cured:
+                raise attach_failure(
+                    InvalidFreeError(
+                        f"free of interior pointer 0x{p.addr:x} "
+                        f"(block starts at 0x{home.base:x})"),
+                    check="FREE", function=self._current_function())
+            return
+        if home.freed:
+            if self.cured:
+                raise attach_failure(
+                    DoubleFreeError(
+                        f"double free of block at 0x{home.base:x}"),
+                    check="FREE", function=self._current_function())
+            return
         if not self.cured:
-            # hardware semantics: the block becomes unmapped-ish; we
-            # keep bytes but mark dead so baselines can detect UAF.
-            home.alive = False
+            if self.mem.reuse_freed:
+                # real-malloc semantics: the address is recycled and
+                # stale bytes are handed back out (silently, as on
+                # hardware — the differential the temporal mode traps)
+                self.mem.free(home)
+            else:
+                # the block becomes unmapped-ish; we keep bytes but
+                # mark dead so baselines can detect UAF
+                home.alive = False
+                home.freed = True
+        elif not self.temporal:
+            # cured, spatial-only: conservative-GC semantics — the
+            # home stays readable (and is never recycled) so dangling
+            # SEQ pointers stay memory-safe
+            home.freed = True
         else:
-            # cured mode: conservative-GC semantics — the home stays
-            # readable so dangling SEQ pointers stay memory-safe.
-            home.alive = True
+            # temporal mode: release the lock so every stale key (and
+            # the freed-home state itself) traps at the next
+            # CHECK_ALIVE; under reuse_freed the address re-enters
+            # circulation with a fresh lock
+            self.mem.free(home)
 
     # -- strings ----------------------------------------------------------
 
@@ -542,8 +587,11 @@ class Interpreter:
             return 0
         finally:
             popped = self._frames.pop()
+            locks = self.mem.locks
             for home in popped.homes.values():
                 home.alive = False
+                # frame pop invalidates the lock, like free does
+                locks.release(home.lock_slot)
 
     def _build_call_plan(self, fd: S.Fundec) -> tuple:
         """The per-function call recipe: a body runner plus the
@@ -850,6 +898,9 @@ class Interpreter:
             self._check_alive(v, frame)
         elif c.kind is K.SAFE_TO_SEQ:
             pass  # manufactures bounds; cost only
+        elif c.kind is K.ALIVE:
+            v = self._ptr_arg(c, frame)
+            self._check_temporal(v, frame)
         elif c.kind is K.WILD_BOUNDS:
             v = self._ptr_arg(c, frame)
             if v.is_null:
@@ -941,6 +992,39 @@ class Interpreter:
         raise RttiCastError(
             "downcast fails against the object's effective type",
             frame.fundec.name)
+
+    def _check_temporal(self, v: PtrVal, frame: Frame) -> None:
+        """CHECK_ALIVE — the lock-and-key temporal check.  Both
+        engines call this one helper, so failure classes and message
+        strings are identical by construction.
+
+        Null passes (the spatial check ahead owns that diagnosis).  A
+        freed home traps; a keyed pointer whose key no longer matches
+        the home's lock traps — which is what catches stale pointers
+        into *recycled* homes under ``Memory(reuse_freed=True)``;
+        key-less pointers into never-recycled regions fall back to
+        home state, exactly like the spatial liveness screen."""
+        if v.addr == 0:
+            return
+        home = self.mem.home_of(v.addr)
+        if home is None:
+            # unmapped/poison: same screening as the spatial path
+            self._check_alive(v, frame)
+            return
+        if home.freed:
+            raise UseAfterFreeError(
+                f"use after free of block at 0x{home.base:x}",
+                frame.fundec.name)
+        if v.key is not None and not self.mem.locks.valid(
+                home.lock_slot, v.key):
+            raise UseAfterFreeError(
+                f"stale pointer 0x{v.addr:x}: key does not match "
+                f"the home's current lock (address was recycled)",
+                frame.fundec.name)
+        if not home.alive and home.region == "stack":
+            raise StackEscapeError(
+                f"dereference of dead stack storage "
+                f"({home.name})", frame.fundec.name)
 
     def _check_alive(self, v: PtrVal, frame: Frame) -> None:
         home = self.mem.home_of(v.addr)
@@ -1421,7 +1505,7 @@ class Interpreter:
             if v.b is None and not v.is_null:
                 size = self._sizeof(target.base)
                 return PtrVal(v.addr, b=v.addr, e=v.addr + size,
-                              rtti=v.rtti)
+                              rtti=v.rtti, key=v.key)
             return v
         if kind is PointerKind.RTTI:
             if v.rtti is None and not v.is_null \
@@ -1431,12 +1515,14 @@ class Interpreter:
                 if _is_alloc_result(e.e):
                     # Fresh allocation: it *becomes* the target type.
                     rid = self.hierarchy.rtti_of(target.base)
-                    return PtrVal(v.addr, b=v.b, e=v.e, rtti=rid)
+                    return PtrVal(v.addr, b=v.b, e=v.e, rtti=rid,
+                                  key=v.key)
                 if isinstance(src_t, T.TPtr) and not T.is_void(
                         src_t.base):
                     # Figure 2, row 1: record the static source type.
                     rid = self.hierarchy.rtti_of(src_t.base)
-                    return PtrVal(v.addr, b=v.b, e=v.e, rtti=rid)
+                    return PtrVal(v.addr, b=v.b, e=v.e, rtti=rid,
+                                  key=v.key)
                 # A void* of unknown dynamic type: stay untyped and
                 # let the home's effective type answer later checks.
             return v
@@ -1589,7 +1675,8 @@ def run_cured(cured: CuredProgram,
               stdout_limit: int = 4_000_000,
               deadline: Optional[float] = None,
               detect_uninit: bool = False,
-              site_hits: Optional[dict] = None) -> ExecResult:
+              site_hits: Optional[dict] = None,
+              reuse_freed: bool = False) -> ExecResult:
     """Execute a cured program with all run-time checks active.
 
     ``site_hits`` (a mutable mapping, typically a ``Counter``) makes
@@ -1598,7 +1685,7 @@ def run_cured(cured: CuredProgram,
                      max_steps=max_steps, engine=engine,
                      stdout_limit=stdout_limit, deadline=deadline,
                      detect_uninit=detect_uninit,
-                     site_hits=site_hits)
+                     site_hits=site_hits, reuse_freed=reuse_freed)
     return ip.run(args)
 
 
@@ -1609,12 +1696,14 @@ def run_raw(prog: Program,
             max_steps: int = 50_000_000,
             engine: str = "closures",
             stdout_limit: int = 4_000_000,
-            deadline: Optional[float] = None) -> ExecResult:
+            deadline: Optional[float] = None,
+            reuse_freed: bool = False) -> ExecResult:
     """Execute the uninstrumented program (hardware semantics),
     optionally under a shadow-memory checker (the baselines)."""
     ip = Interpreter(prog, cured=None, shadow=shadow, stdin=stdin,
                      max_steps=max_steps, engine=engine,
-                     stdout_limit=stdout_limit, deadline=deadline)
+                     stdout_limit=stdout_limit, deadline=deadline,
+                     reuse_freed=reuse_freed)
     if shadow is not None:
         shadow.attach(ip)
     return ip.run(args)

@@ -166,6 +166,21 @@ def _diff_workload(res: DiffResult, base: dict, cur: dict,
                         "improve", name, f"root-cause:{state}",
                         bn, cn, cause))
 
+    # Temporal-checking stats: compared only when both collections
+    # measured the lock-and-key run.  The counts and cycles are exact
+    # (same deterministic cost model as the spatial columns), so the
+    # same thresholds apply.
+    b_t, c_t = base.get("temporal"), cur.get("temporal")
+    if b_t is not None and c_t is not None:
+        gate("temporal:alive_executed",
+             b_t["checks_alive_executed"],
+             c_t["checks_alive_executed"], th.checks_pct)
+        gate("temporal:alive_surviving",
+             b_t["checks_alive_surviving"],
+             c_t["checks_alive_surviving"], th.checks_pct)
+        gate("temporal:cured_cycles", b_t["cured_cycles"],
+             c_t["cured_cycles"], th.cycles_pct)
+
     # Wall-time phases: compared only when both sides measured them,
     # with a deliberately generous threshold (CI machines are noisy).
     b_ph, c_ph = base.get("phases"), cur.get("phases")

@@ -81,6 +81,14 @@ class WorkloadMetrics:
     #: collection ran with provenance enabled, and omitted from JSON
     #: then — the committed baseline stays byte-identical
     root_causes: Optional[dict[str, dict[str, int]]] = None
+    #: temporal-check overhead: a second cure/run of the same workload
+    #: with ``CureOptions.temporal`` on (lock-and-key liveness checks)
+    #: — emitted/surviving/executed ``CHECK_ALIVE`` counts, the
+    #: temporal run's cycles, and its %% overhead over the spatial-only
+    #: cured run.  None unless the collection ran with ``temporal``
+    #: enabled, and omitted from JSON then — the committed baseline
+    #: stays byte-identical
+    temporal: Optional[dict] = None
 
     @property
     def ccured_ratio(self) -> float:
@@ -116,6 +124,8 @@ class WorkloadMetrics:
             out["root_causes"] = {
                 state: dict(per)
                 for state, per in sorted(self.root_causes.items())}
+        if self.temporal is not None:
+            out["temporal"] = dict(self.temporal)
         return out
 
 
@@ -186,6 +196,7 @@ def collect_workload_metrics(w, *, engine: str = "closures",
                              scale: Optional[int] = None,
                              timing: bool = False,
                              provenance: bool = False,
+                             temporal: bool = False,
                              trace: Optional[list] = None
                              ) -> WorkloadMetrics:
     """Measure one workload raw + cured and assemble its metrics.
@@ -197,6 +208,10 @@ def collect_workload_metrics(w, *, engine: str = "closures",
     list additionally accumulates the raw span records (for Chrome
     trace export).  With ``provenance=True`` the cure records blame
     provenance and the metrics carry per-state root-cause counts.
+    With ``temporal=True`` the workload is cured and run a second
+    time with lock-and-key liveness checking on, and the metrics
+    carry its CHECK_ALIVE counts and cycle overhead; the main columns
+    stay spatial-only, comparable against the committed baseline.
     """
     from repro.bench.harness import (cached_source, count_lines,
                                      pristine_cure, pristine_parse)
@@ -235,6 +250,30 @@ def collect_workload_metrics(w, *, engine: str = "closures",
         from repro.obs.blame import BlameGraph
         root_causes = BlameGraph.from_cured(cured).root_cause_counts()
 
+    temporal_stats: Optional[dict] = None
+    if temporal:
+        t_opts = CureOptions(trust_bad_casts=w.trust_bad_casts,
+                             optimize=optimize, temporal=True)
+        t_cured = pristine_cure(w, options=t_opts, scale=scale)
+        t_res = run_cured(t_cured, args=args, stdin=w.stdin,
+                          engine=engine)
+        t_table = site_table(t_cured.prog)
+        alive = S.CheckKind.ALIVE.value
+        base_cycles = cured_res.cycles
+        overhead = (0.0 if not base_cycles else
+                    (t_res.cycles - base_cycles) / base_cycles * 100)
+        temporal_stats = {
+            "checks_alive_emitted":
+                t_cured.check_counts.get(S.CheckKind.ALIVE, 0),
+            "checks_alive_surviving":
+                sum(1 for _, kind in t_table.values()
+                    if kind == alive),
+            "checks_alive_executed":
+                t_res.cost.check_events().get(alive, 0),
+            "cured_cycles": t_res.cycles,
+            "overhead_pct": round(overhead, 4),
+        }
+
     table = site_table(cured.prog)
     sites = [SiteStat(site, fn, kind, hits.get(site, 0))
              for site, (fn, kind) in sorted(table.items())]
@@ -267,6 +306,7 @@ def collect_workload_metrics(w, *, engine: str = "closures",
         function_hits=function_hits,
         phases=phases,
         root_causes=root_causes,
+        temporal=temporal_stats,
     )
 
 
@@ -275,6 +315,7 @@ def collect_metrics(workloads: Sequence, *, engine: str = "closures",
                     scale: Optional[int] = None,
                     timing: bool = False,
                     provenance: bool = False,
+                    temporal: bool = False,
                     trace: Optional[list] = None,
                     progress=None) -> MetricsReport:
     """Collect a :class:`MetricsReport` over ``workloads`` (ordered
@@ -288,6 +329,7 @@ def collect_metrics(workloads: Sequence, *, engine: str = "closures",
                                       optimize=optimize, scale=scale,
                                       timing=timing,
                                       provenance=provenance,
+                                      temporal=temporal,
                                       trace=trace)
         report.workloads.append(wm)
         if progress is not None:
@@ -338,6 +380,24 @@ def render_report(report: MetricsReport, top_sites: int = 5) -> str:
                 lines.append(f"    site {s.site:>4}  "
                              f"{s.kind:<22} {s.function:<20} "
                              f"{s.hits:>9} hits")
+    if any(wm.temporal for wm in report.workloads):
+        lines.append("")
+        thdr = (f"{'workload':<18} {'alive emit':>10} "
+                f"{'survive':>8} {'executed':>9} "
+                f"{'cycles':>12} {'overhead':>9}")
+        lines.append("temporal checking (CureOptions.temporal):")
+        lines.append(thdr)
+        lines.append("-" * len(thdr))
+        for wm in report.workloads:
+            t = wm.temporal
+            if not t:
+                continue
+            lines.append(
+                f"{wm.name:<18} {t['checks_alive_emitted']:>10} "
+                f"{t['checks_alive_surviving']:>8} "
+                f"{t['checks_alive_executed']:>9} "
+                f"{t['cured_cycles']:>12} "
+                f"{t['overhead_pct']:>8.2f}%")
     if any(wm.phases for wm in report.workloads):
         lines.append("")
         lines.append("per-phase wall time (seconds, non-deterministic):")

@@ -118,6 +118,24 @@ class DanglingPointerError(MemorySafetyError):
     frame."""
 
 
+class UseAfterFreeError(MemorySafetyError):
+    """A temporal check (``CHECK_ALIVE``) caught an access through a
+    pointer whose home was freed — either the home is still marked
+    freed, or its lock no longer matches the pointer's key because the
+    allocator recycled the address (``Memory(reuse_freed=True)``)."""
+
+
+class DoubleFreeError(MemorySafetyError):
+    """``free`` was called a second time on a block that is already
+    freed."""
+
+
+class InvalidFreeError(MemorySafetyError):
+    """``free`` was called on a pointer that is not the start of a
+    live heap block (an interior pointer, a stack/global/rodata
+    address, or an unmapped address)."""
+
+
 class UninitializedError(MemorySafetyError):
     """Use of an uninitialized pointer value detected by the runtime."""
 

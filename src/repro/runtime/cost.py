@@ -53,6 +53,8 @@ CHECK_COSTS: dict[CheckKind, int] = {
     CheckKind.VERIFY_NUL: 8,
     CheckKind.VERIFY_SIZE: 2,
     CheckKind.INDEX: 2,
+    # temporal lock-and-key validation: one lock-table load + compare
+    CheckKind.ALIVE: 2,
 }
 
 #: extra words moved when loading/storing a wide pointer (Figure 1):

@@ -30,6 +30,7 @@ from typing import Callable, Optional
 from repro.runtime.checks import (BoundsError, MemorySafetyError,
                                   NullDereferenceError, ProgramAbort,
                                   ProgramExit)
+from repro.runtime.memory import PtrMeta
 from repro.runtime.values import NULL, PtrVal
 
 BuiltinImpl = Callable[..., object]
@@ -64,6 +65,13 @@ def _as_ptr(v: object) -> PtrVal:
     return PtrVal(_as_int(v))
 
 
+def _heap_ptr(ip, home) -> PtrVal:
+    """The fat pointer an allocator returns for ``home``.  Under
+    temporal checking it carries the home's lock value as its key."""
+    return PtrVal(home.base, b=home.base, e=home.base + home.size,
+                  key=home.lock_key if ip.temporal else None)
+
+
 # ---------------------------------------------------------------------------
 # stdlib.h
 # ---------------------------------------------------------------------------
@@ -74,14 +82,14 @@ def _malloc(ip, size: object) -> PtrVal:
     if n < 0:
         raise BoundsError(f"malloc of negative size {n}")
     home = ip.heap_alloc(max(n, 1), "malloc")
-    return PtrVal(home.base, b=home.base, e=home.base + home.size)
+    return _heap_ptr(ip, home)
 
 
 @builtin("calloc")
 def _calloc(ip, nmemb: object, size: object) -> PtrVal:
     n = _as_int(nmemb) * _as_int(size)
     home = ip.heap_alloc(max(n, 1), "calloc")
-    return PtrVal(home.base, b=home.base, e=home.base + home.size)
+    return _heap_ptr(ip, home)
 
 
 @builtin("realloc")
@@ -95,16 +103,28 @@ def _realloc(ip, p: object, size: object) -> PtrVal:
             take = min(old_home.end - old.addr, n)
             data = ip.mem.read_raw(old.addr, take)
             ip.mem.write_raw(home.base, data)
+            # Migrate the shadow metadata of the copied prefix.  Copy
+            # each PtrMeta (not the reference): freeing the old home
+            # clears its map, and under reuse_freed the old dicts get
+            # repopulated by the address's next tenant.  Stored keys
+            # migrate verbatim — they lock *other* homes, which the
+            # realloc does not touch.
             for off, m in list(old_home.meta.items()):
                 rel = off - (old.addr - old_home.base)
                 if 0 <= rel < take:
-                    home.meta[rel] = m
+                    home.meta[rel] = PtrMeta(m.b, m.e, m.rtti, m.key)
+            # the effective-type brand travels with the object
+            home.dynamic_rtti = old_home.dynamic_rtti
             ip.heap_free(old)
-    return PtrVal(home.base, b=home.base, e=home.base + home.size)
+    return _heap_ptr(ip, home)
 
 
 @builtin("free")
 def _free(ip, p: object) -> None:
+    """C semantics: ``free(NULL)`` is a no-op; in cured mode
+    ``heap_free`` raises :class:`InvalidFreeError` for a pointer that
+    is not the start of a heap block and :class:`DoubleFreeError` for
+    a block already freed (with or without ``temporal``)."""
     v = _as_ptr(p)
     if not v.is_null:
         ip.heap_free(v)
@@ -324,7 +344,7 @@ def _strdup(ip, s: object) -> PtrVal:
     text = ip.read_cstring(_as_ptr(s))
     home = ip.heap_alloc(len(text) + 1, "strdup")
     ip.mem.write_raw(home.base, text.encode("latin-1") + b"\0")
-    return PtrVal(home.base, b=home.base, e=home.end)
+    return _heap_ptr(ip, home)
 
 
 @builtin("memcpy")
@@ -610,7 +630,7 @@ def _gethostbyname(ip, name: object) -> PtrVal:
     ip.mem.write_raw(he.base, name_home.base.to_bytes(4, "little"))
     ip.mem.write_raw(he.base + 4, arr.base.to_bytes(4, "little"))
     ip.mem.write_raw(he.base + 8, (2).to_bytes(4, "little"))  # AF_INET
-    return PtrVal(he.base, b=he.base, e=he.end)
+    return _heap_ptr(ip, he)
 
 
 @builtin("recvmsg", raw_library=True)

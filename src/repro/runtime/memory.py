@@ -21,8 +21,17 @@ the moral equivalent of the paper's two representations:
   pointer", and reading it as a WILD pointer fails the tag check —
   Figure 10's invariants).
 
-Homes are never reused, so dangling pointers are always detectable —
-the paper's CCured inserts its own allocator with the same property.
+By default homes are never reused, so dangling pointers are always
+detectable — the paper's CCured inserts its own allocator with the
+same property.  ``Memory(reuse_freed=True)`` drops that crutch: freed
+heap homes go onto a per-size free list and ``alloc`` hands their
+addresses (and stale bytes) back out, like a real ``malloc``.  Under
+reuse, detecting a use-after-free needs the *lock-and-key* discipline
+of the temporal mode ("Fat Pointers for Temporal Memory Safety of C"):
+every home holds a slot in the :class:`LockTable` with a unique lock
+value, fat pointers carry the value as their *key*, and ``free`` (or a
+frame pop) invalidates the lock — a recycled address gets a fresh
+lock, so stale keys can never match again.
 """
 
 from __future__ import annotations
@@ -45,13 +54,52 @@ class PtrMeta:
     b: Optional[int] = None      # base address (SEQ/WILD bound)
     e: Optional[int] = None      # end address (SEQ bound)
     rtti: Optional[int] = None   # RTTI hierarchy node id
+    key: Optional[int] = None    # temporal key (lock value at issue)
+
+
+class LockTable:
+    """The temporal lock table: one slot per home, holding the lock
+    value a pointer's key must match.  Slots are recycled when a home
+    is, but lock values never repeat — so a key issued for a previous
+    tenant of the slot can never validate again."""
+
+    def __init__(self) -> None:
+        self._values: list[int] = []
+        self._free_slots: list[int] = []
+        self._next_key = 1
+
+    def acquire(self) -> tuple[int, int]:
+        """Allocate (or recycle) a slot with a fresh lock value;
+        returns ``(slot, lock_value)``."""
+        key = self._next_key
+        self._next_key += 1
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._values[slot] = key
+        else:
+            slot = len(self._values)
+            self._values.append(key)
+        return slot, key
+
+    def release(self, slot: int) -> None:
+        """Invalidate the slot's lock (0 is never a valid key)."""
+        if self._values[slot] != 0:
+            self._values[slot] = 0
+            self._free_slots.append(slot)
+
+    def valid(self, slot: int, key: int) -> bool:
+        return self._values[slot] == key
+
+    def __len__(self) -> int:
+        return len(self._values)
 
 
 class Home:
     """One allocation unit."""
 
     __slots__ = ("hid", "base", "size", "region", "data", "alive",
-                 "meta", "name", "dynamic_rtti", "frame_id")
+                 "meta", "name", "dynamic_rtti", "frame_id",
+                 "lock_slot", "lock_key", "freed")
 
     def __init__(self, hid: int, base: int, size: int, region: str,
                  name: str = "") -> None:
@@ -68,6 +116,12 @@ class Home:
         #: first RTTI-checked use (malloc returns untyped memory).
         self.dynamic_rtti: Optional[int] = None
         self.frame_id: Optional[int] = None
+        #: lock-table slot and the lock value held while this tenancy
+        #: is live; assigned by :meth:`Memory.alloc`
+        self.lock_slot: int = -1
+        self.lock_key: int = 0
+        #: True between a heap ``free`` and a reallocation of the home
+        self.freed = False
 
     @property
     def end(self) -> int:
@@ -92,7 +146,8 @@ class Memory:
                     "stack": 0x7000_0000}
 
     def __init__(self, *, contiguous: bool = False,
-                 gap_regions: Optional[set[str]] = None) -> None:
+                 gap_regions: Optional[set[str]] = None,
+                 reuse_freed: bool = False) -> None:
         self._next = dict(Memory.REGION_BASES)
         self._homes: list[Home] = []
         #: sorted home base addresses for address resolution
@@ -112,16 +167,31 @@ class Memory:
                                 "code"}
         self.bytes_allocated = 0
         self.allocations = 0
+        #: the temporal lock table; every home holds a slot while live
+        self.locks = LockTable()
+        #: recycle freed heap homes (real-malloc semantics) instead of
+        #: retiring their addresses forever
+        self.reuse_freed = reuse_freed
+        #: freed heap homes by exact size, LIFO — the reuse pool
+        self._free_heap: dict[int, list[Home]] = {}
 
     # -- allocation ---------------------------------------------------------
 
     def alloc(self, size: int, region: str, name: str = "") -> Home:
         size = max(1, size)
+        if region == "heap" and self.reuse_freed:
+            pool = self._free_heap.get(size)
+            if pool:
+                home = self._recycle(pool.pop(), name)
+                self.bytes_allocated += size
+                self.allocations += 1
+                return home
         base = self._next[region]
         # align to word
         base = (base + _WORD - 1) & ~(_WORD - 1)
         home = Home(self._next_hid, base, size, region, name)
         self._next_hid += 1
+        home.lock_slot, home.lock_key = self.locks.acquire()
         gap = _WORD if region in self.gap_regions else 0
         self._next[region] = base + size + gap
         # insert keeping bases sorted (allocations are monotonic per
@@ -134,9 +204,28 @@ class Memory:
         self.allocations += 1
         return home
 
+    def _recycle(self, home: Home, name: str) -> Home:
+        """Hand a freed heap home back out at the same address.  The
+        bytes are deliberately left stale — recycled memory keeps its
+        previous tenant's data, exactly like a real allocator — but
+        the tenancy is fresh: new id, new lock, clean shadow state."""
+        home.hid = self._next_hid
+        self._next_hid += 1
+        home.lock_slot, home.lock_key = self.locks.acquire()
+        home.alive = True
+        home.freed = False
+        home.name = name
+        home.dynamic_rtti = None
+        home.frame_id = None
+        return home
+
     def free(self, home: Home) -> None:
         home.alive = False
+        home.freed = True
         home.meta.clear()
+        self.locks.release(home.lock_slot)
+        if self.reuse_freed and home.region == "heap":
+            self._free_heap.setdefault(home.size, []).append(home)
 
     # -- address resolution -------------------------------------------------
 

@@ -31,33 +31,40 @@ from repro.runtime.memory import PtrMeta
 class PtrVal:
     """A fat pointer value."""
 
-    __slots__ = ("addr", "b", "e", "rtti")
+    __slots__ = ("addr", "b", "e", "rtti", "key")
 
     def __init__(self, addr: int, b: Optional[int] = None,
                  e: Optional[int] = None,
-                 rtti: Optional[int] = None) -> None:
+                 rtti: Optional[int] = None,
+                 key: Optional[int] = None) -> None:
         self.addr = addr & 0xFFFFFFFF
         self.b = b
         self.e = e
         self.rtti = rtti
+        #: temporal key: the lock value of the pointed-to home when
+        #: the pointer was issued (heap allocations under
+        #: ``CureOptions.temporal``).  ``CHECK_ALIVE`` compares it
+        #: against the home's current lock.
+        self.key = key
 
     @property
     def is_null(self) -> bool:
         return self.addr == 0
 
     def with_addr(self, addr: int) -> "PtrVal":
-        return PtrVal(addr, self.b, self.e, self.rtti)
+        return PtrVal(addr, self.b, self.e, self.rtti, self.key)
 
     def meta(self) -> Optional[PtrMeta]:
-        if self.b is None and self.e is None and self.rtti is None:
+        if self.b is None and self.e is None and self.rtti is None \
+                and self.key is None:
             return None
-        return PtrMeta(self.b, self.e, self.rtti)
+        return PtrMeta(self.b, self.e, self.rtti, self.key)
 
     @staticmethod
     def from_meta(addr: int, meta: Optional[PtrMeta]) -> "PtrVal":
         if meta is None:
             return PtrVal(addr)
-        return PtrVal(addr, meta.b, meta.e, meta.rtti)
+        return PtrVal(addr, meta.b, meta.e, meta.rtti, meta.key)
 
     def __repr__(self) -> str:
         parts = [f"0x{self.addr:x}"]
@@ -67,6 +74,8 @@ class PtrVal:
             parts.append(f"e=0x{self.e:x}")
         if self.rtti is not None:
             parts.append(f"rtti={self.rtti}")
+        if self.key is not None:
+            parts.append(f"key={self.key}")
         return f"<ptr {' '.join(parts)}>"
 
 

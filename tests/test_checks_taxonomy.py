@@ -8,17 +8,18 @@ and the tree-walking oracle, and carry a structured
 
 import pytest
 
-from repro.core import cure
+from repro.core import CureOptions, cure
 from repro.frontend import parse_program
 from repro.interp import run_cured
 from repro.runtime import checks as C
 
-#: error class -> (source, run_cured kwargs)
+#: error class -> (source, CureOptions kwargs, run_cured kwargs)
 TAXONOMY = {
     C.NullDereferenceError: (
-        "int main(void) { int *p = (int *)0; return *p; }", {}),
+        "int main(void) { int *p = (int *)0; return *p; }", {}, {}),
     C.BoundsError: (
-        "int main(void) { int a[4]; int *q = a; return q[4]; }", {}),
+        "int main(void) { int a[4]; int *q = a; return q[4]; }",
+        {}, {}),
     C.WildTagError: ("""
         int main(void) {
             int w;
@@ -27,10 +28,10 @@ TAXONOMY = {
             int *alias = (int *)pp;
             *alias = 42;
             return **pp;
-        }""", {}),
+        }""", {}, {}),
     C.StackEscapeError: ("""
         int *leak(void) { int x = 5; return &x; }
-        int main(void) { int *p = leak(); return *p; }""", {}),
+        int main(void) { int *p = leak(); return *p; }""", {}, {}),
     C.RttiCastError: ("""
         struct small { int a; };
         struct big { int a; int b; int c; };
@@ -40,16 +41,16 @@ TAXONOMY = {
             struct big *b = (struct big *)v;
             b->c = 7;
             return 0;
-        }""", {}),
+        }""", {}, {}),
     C.DanglingPointerError: ("""
         extern int strlen(char *s);
         int main(void) {
             char *d = (char *)0x40040;
             return strlen(d);
-        }""", {}),
+        }""", {}, {}),
     C.UninitializedError: (
         "int main(void) { int *u; return *u; }",
-        {"detect_uninit": True}),
+        {}, {"detect_uninit": True}),
     C.CompatibilityError: ("""
         extern void *gethostbyname(char *name);
         int main(void) {
@@ -58,10 +59,35 @@ TAXONOMY = {
             char *name = (char *)ip;
             void *h = gethostbyname(name);
             return 0;
-        }""", {}),
+        }""", {}, {}),
     C.LinkError: ("""
         extern int no_such_function(int x);
-        int main(void) { return no_such_function(1); }""", {}),
+        int main(void) { return no_such_function(1); }""", {}, {}),
+    C.UseAfterFreeError: ("""
+        extern void *malloc(int n);
+        extern void free(void *p);
+        int main(void) {
+            int *p = (int *)malloc(4);
+            *p = 1;
+            free(p);
+            return *p;
+        }""", {"temporal": True}, {}),
+    C.DoubleFreeError: ("""
+        extern void *malloc(int n);
+        extern void free(void *p);
+        int main(void) {
+            int *p = (int *)malloc(4);
+            free(p);
+            free(p);
+            return 0;
+        }""", {}, {}),
+    C.InvalidFreeError: ("""
+        extern void free(void *p);
+        int main(void) {
+            int x = 3;
+            free(&x);
+            return 0;
+        }""", {}, {}),
 }
 
 
@@ -69,9 +95,9 @@ TAXONOMY = {
 @pytest.mark.parametrize(
     "exc", TAXONOMY, ids=lambda e: e.__name__)
 def test_subclass_reachable(exc, engine):
-    src, kwargs = TAXONOMY[exc]
+    src, copts, kwargs = TAXONOMY[exc]
     cured = cure(parse_program(src, name=exc.__name__),
-                 name=exc.__name__)
+                 options=CureOptions(**copts), name=exc.__name__)
     with pytest.raises(exc) as ei:
         run_cured(cured, engine=engine, **kwargs)
     assert type(ei.value) is exc  # the exact subclass, not a parent
@@ -83,11 +109,11 @@ def test_subclass_reachable(exc, engine):
 @pytest.mark.parametrize(
     "exc", TAXONOMY, ids=lambda e: e.__name__)
 def test_engines_identical_on_failure(exc):
-    src, kwargs = TAXONOMY[exc]
+    src, copts, kwargs = TAXONOMY[exc]
     outcomes = []
     for engine in ("closures", "tree"):
         cured = cure(parse_program(src, name=exc.__name__),
-                     name=exc.__name__)
+                     options=CureOptions(**copts), name=exc.__name__)
         with pytest.raises(exc) as ei:
             run_cured(cured, engine=engine, **kwargs)
         failure = C.CheckFailure.from_exception(ei.value)

@@ -1,0 +1,379 @@
+"""Temporal memory safety: lock-and-key checking end to end.
+
+The tentpole scenario is the *reuse differential*: with the recycling
+allocator (``Memory(reuse_freed=True)``) a raw run silently reads
+whatever a later allocation wrote into a freed block's recycled
+address, while a temporal cured run traps deterministically with
+:class:`~repro.runtime.checks.UseAfterFreeError` — the lock-and-key
+failure CCured's conservative-GC design sidesteps by never reusing
+addresses.  Around it: lock-table unit behaviour, the ``free``/
+``realloc`` C-semantics satellites, and the proof that the flow
+optimizer's CHECK_ALIVE elision never changes behaviour.
+"""
+
+import pytest
+
+from repro.core import CureOptions, cure
+from repro.frontend import parse_program
+from repro.interp import run_cured, run_raw
+from repro.runtime import checks as C
+from repro.runtime.memory import LockTable, Memory, PtrMeta
+
+ENGINES = ("closures", "tree")
+
+_ALLOC_DECLS = (
+    "extern void *malloc(int n);\n"
+    "extern void free(void *p);\n"
+    "extern void *realloc(void *p, int n);\n")
+
+
+def _cure(src, name, **copts):
+    return cure(parse_program(_ALLOC_DECLS + src, name=name),
+                options=CureOptions(**copts), name=name)
+
+
+# ---------------------------------------------------------------------------
+# LockTable units
+# ---------------------------------------------------------------------------
+
+class TestLockTable:
+    def test_acquire_valid_release(self):
+        lt = LockTable()
+        slot, key = lt.acquire()
+        assert lt.valid(slot, key)
+        lt.release(slot)
+        assert not lt.valid(slot, key)
+
+    def test_keys_never_repeat_across_slot_reuse(self):
+        lt = LockTable()
+        slot1, key1 = lt.acquire()
+        lt.release(slot1)
+        slot2, key2 = lt.acquire()
+        # the slot is recycled, its key is not: the stale key stays
+        # invalid forever
+        assert slot2 == slot1
+        assert key2 != key1
+        assert lt.valid(slot2, key2)
+        assert not lt.valid(slot2, key1)
+
+    def test_zero_key_never_valid(self):
+        lt = LockTable()
+        slot, _key = lt.acquire()
+        assert not lt.valid(slot, 0)
+
+    def test_double_release_is_idempotent(self):
+        lt = LockTable()
+        slot, key = lt.acquire()
+        lt.release(slot)
+        lt.release(slot)
+        assert not lt.valid(slot, key)
+
+
+# ---------------------------------------------------------------------------
+# The recycling allocator
+# ---------------------------------------------------------------------------
+
+class TestReusingAllocator:
+    def test_default_never_reuses(self):
+        mem = Memory()
+        a = mem.alloc(16, "heap", "a")
+        mem.free(a)
+        b = mem.alloc(16, "heap", "b")
+        assert b.base != a.base
+
+    def test_reuse_recycles_exact_size(self):
+        mem = Memory(reuse_freed=True)
+        a = mem.alloc(16, "heap", "a")
+        mem.free(a)
+        b = mem.alloc(16, "heap", "b")
+        assert b.base == a.base
+        assert b.alive and not b.freed
+
+    def test_recycled_home_gets_fresh_lock(self):
+        mem = Memory(reuse_freed=True)
+        a = mem.alloc(16, "heap", "a")
+        old = (a.lock_slot, a.lock_key)
+        mem.free(a)
+        b = mem.alloc(16, "heap", "b")
+        assert not mem.locks.valid(*old)
+        assert mem.locks.valid(b.lock_slot, b.lock_key)
+
+    def test_recycled_home_keeps_stale_bytes(self):
+        # deliberate: recycling does NOT zero — that staleness is
+        # exactly what the raw side of the differential reads
+        mem = Memory(reuse_freed=True)
+        a = mem.alloc(8, "heap", "a")
+        mem.write_int(a.base, 0xDEAD, 4)
+        mem.free(a)
+        b = mem.alloc(8, "heap", "b")
+        assert mem.read_int(b.base, 4, signed=False) == 0xDEAD
+
+    def test_different_size_not_recycled(self):
+        mem = Memory(reuse_freed=True)
+        a = mem.alloc(16, "heap", "a")
+        mem.free(a)
+        b = mem.alloc(8, "heap", "b")
+        assert b.base != a.base
+
+    def test_stack_homes_never_recycled(self):
+        mem = Memory(reuse_freed=True)
+        a = mem.alloc(16, "stack", "a")
+        mem.free(a)
+        b = mem.alloc(16, "stack", "b")
+        assert b.base != a.base
+
+
+# ---------------------------------------------------------------------------
+# The reuse differential (the tentpole scenario)
+# ---------------------------------------------------------------------------
+
+_DIFFERENTIAL = """
+extern int printf(char *fmt, ...);
+int main(void) {
+    int *p = (int *)malloc(8);
+    p[0] = 1111;
+    free(p);
+    int *q = (int *)malloc(8);
+    q[0] = 7777;
+    printf("%d\\n", p[0]);
+    return 0;
+}
+"""
+
+
+class TestReuseDifferential:
+    def test_raw_silently_reads_recycled_memory(self):
+        prog = parse_program(_ALLOC_DECLS + _DIFFERENTIAL, name="d")
+        res = run_raw(prog, reuse_freed=True)
+        assert res.status == 0
+        assert res.stdout.strip() == "7777"  # q's write, through p
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_temporal_traps_the_same_read(self, engine):
+        cured = _cure(_DIFFERENTIAL, "d", temporal=True)
+        with pytest.raises(C.UseAfterFreeError) as ei:
+            run_cured(cured, engine=engine, reuse_freed=True)
+        assert "key" in str(ei.value)  # the lock-and-key diagnosis
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_temporal_traps_without_reuse_too(self, engine):
+        # no recycling yet: the home is still marked freed, the trap
+        # fires on the home state rather than the key
+        cured = _cure(_DIFFERENTIAL, "d", temporal=True)
+        with pytest.raises(C.UseAfterFreeError):
+            run_cured(cured, engine=engine)
+
+
+# ---------------------------------------------------------------------------
+# free() C semantics (satellite: even with temporal off)
+# ---------------------------------------------------------------------------
+
+class TestFreeSemantics:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_free_null_is_noop(self, engine):
+        cured = _cure("""
+        int main(void) {
+            int *p = (int *)0;
+            free(p);
+            return 7;
+        }""", "fn")
+        assert run_cured(cured, engine=engine).status == 7
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_double_free_traps(self, engine):
+        cured = _cure("""
+        int main(void) {
+            int *p = (int *)malloc(4);
+            free(p);
+            free(p);
+            return 0;
+        }""", "df")
+        with pytest.raises(C.DoubleFreeError):
+            run_cured(cured, engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_interior_free_traps(self, engine):
+        cured = _cure("""
+        int main(void) {
+            int *p = (int *)malloc(16);
+            free(p + 1);
+            return 0;
+        }""", "if")
+        with pytest.raises(C.InvalidFreeError):
+            run_cured(cured, engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_stack_free_traps(self, engine):
+        cured = _cure("""
+        int main(void) {
+            int x = 3;
+            free(&x);
+            return 0;
+        }""", "sf")
+        with pytest.raises(C.InvalidFreeError):
+            run_cured(cured, engine=engine)
+
+    def test_raw_free_abuse_is_silent(self):
+        # hardware semantics: glibc would likely abort, but the raw
+        # model's job is to *survive* so the differential shows the
+        # cured side catching what raw lets through
+        prog = parse_program(_ALLOC_DECLS + """
+        int main(void) {
+            int *p = (int *)malloc(4);
+            free(p);
+            free(p);
+            int x = 3;
+            free(&x);
+            return 5;
+        }""", name="rf")
+        assert run_raw(prog).status == 5
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_use_after_free_not_trapped_without_temporal(self, engine):
+        # the conservative-GC default (the paper's design): freed
+        # blocks stay readable, spatial checks pass
+        cured = _cure("""
+        int main(void) {
+            int *p = (int *)malloc(4);
+            *p = 9;
+            free(p);
+            return *p;
+        }""", "gc")
+        assert run_cured(cured, engine=engine).status == 9
+
+
+# ---------------------------------------------------------------------------
+# realloc migration (satellite)
+# ---------------------------------------------------------------------------
+
+class TestReallocMigration:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_realloc_migrates_pointer_meta(self, engine):
+        # an inner pointer stored in the block must still carry fat
+        # bounds after the block moves
+        cured = _cure("""
+        int g[4];
+        int main(void) {
+            int **pp = (int **)malloc(4);
+            pp[0] = g;
+            pp = (int **)realloc(pp, 8);
+            int *q = pp[0];
+            q[3] = 5;
+            return q[3];
+        }""", "rm")
+        assert run_cured(cured, engine=engine).status == 5
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_realloc_then_use_of_old_pointer_traps(self, engine):
+        cured = _cure("""
+        int main(void) {
+            int *p = (int *)malloc(4);
+            *p = 1;
+            int *r = (int *)realloc(p, 64);
+            *r = 2;
+            return *p;
+        }""", "ro", temporal=True)
+        with pytest.raises(C.UseAfterFreeError):
+            run_cured(cured, engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_realloc_under_reuse_keeps_contents(self, engine):
+        cured = _cure("""
+        int main(void) {
+            int *p = (int *)malloc(8);
+            p[0] = 40; p[1] = 2;
+            p = (int *)realloc(p, 16);
+            return p[0] + p[1];
+        }""", "rr", temporal=True)
+        res = run_cured(cured, engine=engine, reuse_freed=True)
+        assert res.status == 42
+
+
+# ---------------------------------------------------------------------------
+# Check emission and elision
+# ---------------------------------------------------------------------------
+
+class TestCheckAliveElision:
+    def test_non_temporal_cure_emits_no_alive_checks(self):
+        from repro.cil import stmt as S
+        cured = _cure("""
+        int main(void) {
+            int *p = (int *)malloc(4);
+            *p = 1;
+            return *p;
+        }""", "na")
+        assert S.CheckKind.ALIVE not in cured.check_counts
+
+    def test_flow_elides_redundant_alive_checks(self):
+        from repro.cil import stmt as S
+        src = """
+        int main(void) {
+            int *p = (int *)malloc(16);
+            p[0] = 1;
+            p[1] = 2;
+            p[2] = 3;
+            return p[0] + p[1] + p[2];
+        }"""
+        full = _cure(src, "el0", temporal=True, optimize="none")
+        flow = _cure(src, "el1", temporal=True, optimize="flow")
+
+        def survivors(cured):
+            from repro.obs.metrics import site_table
+            return sum(1 for _, kind in site_table(cured.prog).values()
+                       if kind == S.CheckKind.ALIVE.value)
+
+        emitted = full.check_counts[S.CheckKind.ALIVE]
+        assert emitted >= 6  # straight-line repeats on one pointer
+        assert survivors(flow) < survivors(full)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_elision_levels_behave_identically(self, engine):
+        # the temporal trap (and a clean run) must be level-invariant
+        trap_src = """
+        int main(void) {
+            int *p = (int *)malloc(4);
+            *p = 1;
+            free(p);
+            return *p;
+        }"""
+        records = []
+        for level in ("none", "local", "flow"):
+            cured = _cure(trap_src, f"lv-{level}", temporal=True,
+                          optimize=level)
+            with pytest.raises(C.UseAfterFreeError) as ei:
+                run_cured(cured, engine=engine)
+            f = C.CheckFailure.from_exception(ei.value).to_json()
+            f.pop("site")  # site ids differ across levels by design
+            records.append((str(ei.value), f))
+        assert records[0] == records[1] == records[2]
+
+    def test_temporal_off_baseline_unchanged(self):
+        # a PtrVal never carries a key unless the cure is temporal:
+        # the committed metrics baseline cannot drift
+        from repro.runtime.values import PtrVal
+        assert PtrVal(4, b=4, e=8).meta().key is None
+        assert PtrVal(4).meta() is None
+
+
+# ---------------------------------------------------------------------------
+# Frame pop releases locks
+# ---------------------------------------------------------------------------
+
+class TestStackLocks:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_clean_calls_release_locks(self, engine):
+        # lock slots are recycled across frames: deep call chains must
+        # not grow the table without bound
+        cured = _cure("""
+        int f(int n) { int a[8]; a[0] = n; return a[0]; }
+        int main(void) {
+            int i; int s = 0;
+            for (i = 0; i < 50; i++) s = f(i);
+            return s;
+        }""", "sl", temporal=True)
+        from repro.interp import Interpreter
+        ip = Interpreter(cured.prog, cured=cured, engine=engine)
+        res = ip.run(None)
+        assert res.status == 49
+        # far fewer live slots than total acquisitions
+        assert len(ip.mem.locks._free_slots) > 0
