@@ -4,8 +4,9 @@ The reproduction's first genuine static-analysis subsystem: a CFG
 builder over the structured statement trees (:mod:`.cfg`), a forward
 *must* dataflow engine over proven pointer facts (:mod:`.dataflow`),
 the whole-function check eliminator built on its fixpoint
-(:mod:`.eliminate`), and the per-function statistics backing
-``repro analyze`` (:mod:`.stats`).
+(:mod:`.eliminate`), the per-function statistics backing
+``repro analyze`` (:mod:`.stats`), and the must-fail static
+diagnostics behind ``repro lint`` (:mod:`.lint` / :mod:`.diagnostics`).
 
 This is the machinery behind the paper's contrast with binary-level
 tools: "without the source code and the type information it contains,
@@ -16,17 +17,27 @@ straight-line pass in :mod:`repro.core.optimize` remains available as
 
 from repro.analysis.cfg import CFG, BasicBlock, Edge, build_cfg
 from repro.analysis.dataflow import (FactDomain, branch_facts,
-                                     gen_check_facts, ptr_var, solve,
+                                     edge_contrib, gen_check_facts,
+                                     infeasible, ptr_var, solve,
                                      transfer_instr)
+from repro.analysis.diagnostics import (CODES, LINT_SCHEMA, SEVERITIES,
+                                        Diagnostic, LintReport,
+                                        render_diagnostic,
+                                        reports_json, reports_sarif)
 from repro.analysis.eliminate import (FunctionAnalysis, analyze_fundec,
                                       eliminate_checks_flow)
+from repro.analysis.lint import (lint_cured, lint_source,
+                                 lint_workload)
 from repro.analysis.stats import (analyze_cured, analyze_fundec_stats,
                                   analyze_source, render_table)
 
 __all__ = [
     "CFG", "BasicBlock", "Edge", "build_cfg",
-    "FactDomain", "branch_facts", "gen_check_facts", "ptr_var",
-    "solve", "transfer_instr",
+    "FactDomain", "branch_facts", "edge_contrib", "gen_check_facts",
+    "infeasible", "ptr_var", "solve", "transfer_instr",
+    "CODES", "LINT_SCHEMA", "SEVERITIES", "Diagnostic", "LintReport",
+    "render_diagnostic", "reports_json", "reports_sarif",
+    "lint_cured", "lint_source", "lint_workload",
     "FunctionAnalysis", "analyze_fundec", "eliminate_checks_flow",
     "analyze_cured", "analyze_fundec_stats", "analyze_source",
     "render_table",

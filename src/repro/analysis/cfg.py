@@ -35,24 +35,47 @@ from repro.cil import stmt as S
 
 
 class Edge:
-    """A CFG edge, optionally carrying a branch condition."""
+    """A CFG edge, optionally carrying branch conditions.
 
-    __slots__ = ("src", "dst", "cond", "polarity", "back")
+    ``conds`` is the list of ``(cond, polarity, loc)`` refinements the
+    edge asserts.  Builder-produced edges carry at most one; forwarding
+    an empty join block (see :func:`_forward_empty_joins`) composes the
+    conditions of the two edges it replaces, which is what lets the
+    must-analysis see through the frontend's short-circuit lowering.
+    ``cond``/``polarity`` remain as views of the first entry.
+    """
+
+    __slots__ = ("src", "dst", "conds", "back")
 
     def __init__(self, src: "BasicBlock", dst: "BasicBlock",
                  cond: Optional[E.Exp] = None,
                  polarity: Optional[bool] = None,
-                 back: bool = False) -> None:
+                 back: bool = False,
+                 conds: Optional[list] = None,
+                 loc: Optional[tuple] = None) -> None:
         self.src = src
         self.dst = dst
-        self.cond = cond          # If condition on branch edges
-        self.polarity = polarity  # True = then-edge, False = else-edge
+        if conds is not None:
+            self.conds: list[tuple] = list(conds)
+        elif cond is not None:
+            self.conds = [(cond, polarity, loc)]
+        else:
+            self.conds = []
         self.back = back          # loop back-edge
 
+    @property
+    def cond(self) -> Optional[E.Exp]:
+        """First branch condition (None on plain edges)."""
+        return self.conds[0][0] if self.conds else None
+
+    @property
+    def polarity(self) -> Optional[bool]:
+        """Polarity of the first condition: True = then-edge."""
+        return self.conds[0][1] if self.conds else None
+
     def __repr__(self) -> str:
-        c = ""
-        if self.cond is not None:
-            c = f" [{'' if self.polarity else '!'}{self.cond!r}]"
+        c = "".join(f" [{'' if pol else '!'}{cond!r}]"
+                    for cond, pol, _ in self.conds)
         b = " (back)" if self.back else ""
         return f"b{self.src.bid}->b{self.dst.bid}{c}{b}"
 
@@ -89,8 +112,10 @@ class CFG:
     def add_edge(self, src: BasicBlock, dst: BasicBlock,
                  cond: Optional[E.Exp] = None,
                  polarity: Optional[bool] = None,
-                 back: bool = False) -> Edge:
-        e = Edge(src, dst, cond, polarity, back)
+                 back: bool = False,
+                 conds: Optional[list] = None,
+                 loc: Optional[tuple] = None) -> Edge:
+        e = Edge(src, dst, cond, polarity, back, conds=conds, loc=loc)
         src.succs.append(e)
         dst.preds.append(e)
         return e
@@ -185,8 +210,11 @@ class _Builder:
     def _if(self, s: S.If, cur: BasicBlock) -> Optional[BasicBlock]:
         then_b = self.cfg.new_block()
         else_b = self.cfg.new_block()
-        self.cfg.add_edge(cur, then_b, cond=s.cond, polarity=True)
-        self.cfg.add_edge(cur, else_b, cond=s.cond, polarity=False)
+        loc = getattr(s, "loc", None)
+        self.cfg.add_edge(cur, then_b, cond=s.cond, polarity=True,
+                          loc=loc)
+        self.cfg.add_edge(cur, else_b, cond=s.cond, polarity=False,
+                          loc=loc)
         t_end = self._stmts(s.then.stmts, then_b)
         e_end = self._stmts(s.els.stmts, else_b)
         if t_end is None and e_end is None:
@@ -227,6 +255,58 @@ class _Builder:
         return after if after.preds else None
 
 
+#: forwarding an empty join multiplies edges (preds × succs); bail out
+#: beyond this product so pathological chains stay linear.
+_MAX_FORWARD_FANOUT = 8
+
+
+def _forward_empty_joins(cfg: CFG) -> None:
+    """Bypass instruction-less join blocks whose successors branch.
+
+    The frontend lowers ``a || b`` / ``a && b`` through a compiler
+    temp: a diamond assigns ``__cil_scN`` per arm, the arms meet in an
+    empty join, and the *next* ``If`` branches on the temp.  A meet at
+    the join intersects away everything the arms knew, so branch
+    refinement on the temp learns nothing.  Re-routing each pred edge
+    directly to each successor — composing the two edges' condition
+    lists — lets the solver refine each arm's out-set separately and
+    prune arm/branch combinations that are contradictory (the arm that
+    set ``__cil_scN = 1`` cannot reach the ``__cil_scN == 0`` edge).
+    The meet still happens, at the successor, over exactly the same
+    set of execution paths, so the transformation is must-sound; it is
+    purely a precision (path-sensitivity) device.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for b in cfg.blocks:
+            if b is cfg.entry or b is cfg.exit or b.instrs:
+                continue
+            if len(b.preds) < 2 or not b.succs:
+                continue
+            if not any(e.conds for e in b.succs):
+                continue  # nothing downstream to refine
+            if any(e.back or e.src is b for e in b.preds) \
+                    or any(e.back or e.dst is b for e in b.succs):
+                continue  # keep loop structure intact
+            if len(b.preds) * len(b.succs) > _MAX_FORWARD_FANOUT:
+                continue
+            preds, succs = list(b.preds), list(b.succs)
+            for pe in preds:
+                pe.src.succs.remove(pe)
+            for se in succs:
+                se.dst.preds.remove(se)
+            b.preds.clear()
+            b.succs.clear()
+            for pe in preds:
+                for se in succs:
+                    cfg.add_edge(pe.src, se.dst,
+                                 conds=pe.conds + se.conds)
+            changed = True
+
+
 def build_cfg(fd: S.Fundec) -> CFG:
     """Build the CFG of one function definition."""
-    return _Builder(fd).build()
+    cfg = _Builder(fd).build()
+    _forward_empty_joins(cfg)
+    return cfg

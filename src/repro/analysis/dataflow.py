@@ -51,6 +51,17 @@ set intersection).  Facts are plain tuples:
     accident), so only a passed temporal check may elide a temporal
     check.
 
+``("eqz", vid)`` / ``("nez", vid)``
+    The register variable ``vid`` is definitely zero / definitely
+    non-zero: constant assignments (``v = 0`` / ``v = 1``) and branch
+    refinement produce them for scalars and pointers alike.  They are
+    the contradiction detectors behind infeasible-edge pruning (a
+    ``v == 0`` edge out of a state proving ``nez(v)`` is never taken,
+    so its contribution is dropped from the meet), which is what makes
+    the short-circuit diamonds the frontend lowers ``&&``/``||`` into
+    transparent.  For a pointer, ``eqz`` is the *definitely-null* fact
+    ``repro lint`` reports dereferences of.
+
 Kill sets are conservative and reuse the straight-line pass's alias
 reasoning (:func:`repro.core.optimize._vars_of_exp`):
 
@@ -183,6 +194,7 @@ def gen_check_facts(dom: FactDomain, facts: FactSet,
         v = ptr_var(c.args[0])
         if v is not None:
             dom.add_var_fact(facts, ("nonnull", v.vid), v)
+            dom.add_var_fact(facts, ("nez", v.vid), v)
             dom.add_var_fact(facts, ("alive", v.vid), v)
     if c.kind is S.CheckKind.ALIVE:
         v = ptr_var(c.args[0])
@@ -228,8 +240,15 @@ def _gen_set_facts(dom: FactDomain, facts: FactSet, var: E.Varinfo,
     """Address provenance: ``p = &x`` / ``p = startof(arr)`` yields a
     non-null pointer into in-scope storage (never poison), so the
     NULL check on ``p`` is statically proven; ``startof`` of a sized
-    array additionally proves its bounds."""
+    array additionally proves its bounds.  Constant assignments yield
+    the zero/non-zero flags."""
     src = strip_casts(exp)
+    if isinstance(src, E.Const) and isinstance(src.value, int):
+        if src.value == 0:
+            dom.add_var_fact(facts, ("eqz", var.vid), var)
+        else:
+            dom.add_var_fact(facts, ("nez", var.vid), var)
+        return
     if not isinstance(src, (E.AddrOf, E.StartOf)):
         return
     lv = src.lval
@@ -237,6 +256,7 @@ def _gen_set_facts(dom: FactDomain, facts: FactSet, var: E.Varinfo,
         return
     dom.add_var_fact(facts, ("nonnull", var.vid), var)
     dom.add_var_fact(facts, ("alive", var.vid), var)
+    dom.add_var_fact(facts, ("nez", var.vid), var)
     if isinstance(src, E.StartOf):
         n = _array_bytes(lv)
         if n:
@@ -247,7 +267,8 @@ def branch_facts(dom: FactDomain, facts: FactSet, cond: E.Exp,
                  polarity: bool) -> None:
     """Facts proven by taking the ``polarity`` edge of ``cond``:
     ``if (p)`` / ``if (p != 0)`` true edges and ``if (!p)`` /
-    ``if (p == 0)`` false edges prove ``NonNull(p)``."""
+    ``if (p == 0)`` false edges prove ``NonNull(p)`` (plus ``nez``);
+    the opposite edges prove ``eqz`` — definitely-null for pointers."""
     e = strip_casts(cond)
     if isinstance(e, E.UnOp) and e.op is E.UnopKind.LNOT:
         branch_facts(dom, facts, e.e, not polarity)
@@ -259,21 +280,65 @@ def branch_facts(dom: FactDomain, facts: FactSet, cond: E.Exp,
             tgt = e.e1
         elif E.is_zero(e.e1):
             tgt = e.e2
-        if tgt is not None and polarity == (e.op is E.BinopKind.NE):
-            _gen_nonnull(dom, facts, tgt)
+        if tgt is not None:
+            if polarity == (e.op is E.BinopKind.NE):
+                _gen_nonzero(dom, facts, tgt)
+            else:
+                _gen_zero(dom, facts, tgt)
         return
     if polarity:
-        _gen_nonnull(dom, facts, e)
+        _gen_nonzero(dom, facts, e)
+    else:
+        _gen_zero(dom, facts, e)
 
 
-def _gen_nonnull(dom: FactDomain, facts: FactSet, e: E.Exp) -> None:
+def _gen_nonzero(dom: FactDomain, facts: FactSet, e: E.Exp) -> None:
     var = ptr_var(e)
-    if var is None or not T.is_pointer(var.type):
+    if var is None:
         return
-    dom.add_var_fact(facts, ("nonnull", var.vid), var)
+    dom.add_var_fact(facts, ("nez", var.vid), var)
+    if T.is_pointer(var.type):
+        dom.add_var_fact(facts, ("nonnull", var.vid), var)
 
 
-def solve(cfg: CFG) -> Tuple[FactDomain, Dict[int, FactSet]]:
+def _gen_zero(dom: FactDomain, facts: FactSet, e: E.Exp) -> None:
+    var = ptr_var(e)
+    if var is None:
+        return
+    dom.add_var_fact(facts, ("eqz", var.vid), var)
+
+
+def infeasible(facts: FactSet) -> bool:
+    """A program point whose facts are contradictory cannot be reached
+    along the path(s) that produced them: ``eqz`` meets ``nez`` (or a
+    proven-non-null pointer).  Used to prune edge contributions from
+    the meet and to suppress diagnostics in unreachable arms."""
+    for f in facts:
+        if f[0] == "eqz" and (("nez", f[1]) in facts
+                              or ("nonnull", f[1]) in facts):
+            return True
+    return False
+
+
+def edge_contrib(dom: FactDomain, src_out: FactSet,
+                 e) -> Optional[FactSet]:
+    """The fact-set an edge delivers to its destination: the source's
+    out-set refined by every branch condition on the edge — or ``None``
+    when the refinements contradict the out-set, i.e. the edge is
+    provably never taken from that state (infeasible path)."""
+    contrib = set(src_out)
+    for cond, pol, _loc in e.conds:
+        branch_facts(dom, contrib, cond, pol)
+    if infeasible(contrib):
+        return None
+    return contrib
+
+
+def solve(cfg: CFG, *,
+          transfer=transfer_instr,
+          entry_facts: Optional[FactSet] = None,
+          dom: Optional[FactDomain] = None,
+          ) -> Tuple[FactDomain, Dict[int, FactSet]]:
     """Iterate the transfer functions to a fixpoint; returns the fact
     domain and the in-set of every block (keyed by block id).
 
@@ -281,9 +346,18 @@ def solve(cfg: CFG) -> Tuple[FactDomain, Dict[int, FactSet]]:
     treated as top (the meet identity) until their out-sets are
     computed, after which in-sets only shrink — the standard must-
     dataflow schedule, which converges because the fact universe is
-    finite and all transfer functions are monotone.
+    finite and all transfer functions are monotone.  Infeasible edge
+    contributions (see :func:`edge_contrib`) are excluded from the
+    meet; feasibility of a shrinking contribution is monotone (a
+    contradiction, once broken, stays broken), so convergence is
+    unaffected.
+
+    ``transfer`` and ``entry_facts`` let clients reuse the engine with
+    a different instruction semantics and non-empty entry state —
+    ``repro lint`` solves the same CFGs with violation facts added.
     """
-    dom = FactDomain()
+    if dom is None:
+        dom = FactDomain()
     order = cfg.rpo()
     ins: Dict[int, Optional[FactSet]] = {b.bid: None
                                          for b in cfg.blocks}
@@ -291,17 +365,29 @@ def solve(cfg: CFG) -> Tuple[FactDomain, Dict[int, FactSet]]:
 
     def block_in(b: BasicBlock) -> Optional[FactSet]:
         if b is cfg.entry or not b.preds:
-            return set()
+            return set(entry_facts or ()) if b is cfg.entry else set()
         acc: Optional[FactSet] = None
+        fallback: Optional[FactSet] = None
         for e in b.preds:
             src_out = outs[e.src.bid]
             if src_out is None:
                 continue  # top: identity of the meet
             contrib = set(src_out)
-            if e.cond is not None:
-                branch_facts(dom, contrib, e.cond, e.polarity)
+            for cond, pol, _loc in e.conds:
+                branch_facts(dom, contrib, cond, pol)
+            if infeasible(contrib):
+                # The edge is provably never taken; keep its refined
+                # contribution aside so that a block *all* of whose
+                # incoming edges are infeasible — statically dead code
+                # — still gets the plain (unpruned) meet: its checks
+                # never execute, so eliminating on vacuous facts is
+                # sound, while lint separately refuses to diagnose
+                # contradictory states.
+                fallback = contrib if fallback is None \
+                    else (fallback & contrib)
+                continue
             acc = contrib if acc is None else (acc & contrib)
-        return acc
+        return acc if acc is not None else fallback
 
     changed = True
     while changed:
@@ -314,7 +400,7 @@ def solve(cfg: CFG) -> Tuple[FactDomain, Dict[int, FactSet]]:
                 ins[b.bid] = new_in
                 new_out = set(new_in)
                 for i in b.instrs:
-                    transfer_instr(dom, new_out, i)
+                    transfer(dom, new_out, i)
                 if new_out != outs[b.bid]:
                     outs[b.bid] = new_out
                     changed = True

@@ -1,0 +1,209 @@
+"""Diagnostic records and renderers for ``repro lint``.
+
+A :class:`Diagnostic` is one *must-fail* finding: the dataflow engine
+proved that a surviving run-time check (or a ``free`` call) fails on
+every execution reaching it.  This module owns the record shape, the
+stable ordering, and the three output formats — gcc-style text, the
+byte-deterministic JSON report the CI baseline gate diffs, and SARIF
+2.1.0 for editor/CI integrations.
+
+Determinism contract: diagnostics are sorted by ``(file, line, site,
+code)``; JSON is produced with :func:`repro.obs.serialize.stable_dumps`
+(sorted keys, rounded floats, trailing newline), so two lints of the
+same program are byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.serialize import stable_dumps
+
+#: schema tag of the JSON report (bump on shape changes).
+LINT_SCHEMA = "repro.analysis.lint/1"
+
+#: every diagnostic code, its short name and its one-line meaning.
+CODES: dict[str, tuple[str, str]] = {
+    "repro-E001": ("null-dereference",
+                   "dereference of a definitely-null pointer"),
+    "repro-E002": ("out-of-bounds",
+                   "access provably outside the pointed-to object"),
+    "repro-E003": ("double-free",
+                   "free of a block that is already freed"),
+    "repro-E004": ("use-after-free",
+                   "use of a pointer whose block was freed"),
+    "repro-E005": ("uninitialized-pointer",
+                   "use of a pointer local never assigned on any path"),
+    "repro-E006": ("invalid-free",
+                   "free of a non-heap or interior pointer"),
+}
+
+#: ordering for ``--fail-on`` comparisons.
+SEVERITIES = ("note", "warning", "error")
+
+
+@dataclass
+class PathStep:
+    """One event on the CFG path that forces the violation."""
+
+    file: Optional[str]
+    line: Optional[int]
+    note: str
+
+    def to_json(self) -> dict:
+        return {"file": self.file or "<unknown>",
+                "line": self.line or 0, "note": self.note}
+
+
+@dataclass
+class Diagnostic:
+    """One must-fail finding at a concrete program point."""
+
+    code: str                 # "repro-E001" ... "repro-E006"
+    message: str              # the human sentence, var names inlined
+    file: str                 # source file of the doomed site
+    line: int                 # 1-based source line
+    function: str             # enclosing function
+    check: str                # check kind name, or "free" for calls
+    site: int                 # curer check-site id (-1 for calls)
+    severity: str = "error"
+    path: list[PathStep] = field(default_factory=list)
+    #: blame-chain JSON (see :mod:`repro.obs.blame`) of the guarded
+    #: pointer's kind, when the program was cured with provenance on.
+    blame: Optional[dict] = None
+
+    def sort_key(self) -> tuple:
+        return (self.file, self.line, self.site, self.code)
+
+    def to_json(self) -> dict:
+        out: dict = {"code": self.code, "severity": self.severity,
+                     "message": self.message, "file": self.file,
+                     "line": self.line, "function": self.function,
+                     "check": self.check, "site": self.site,
+                     "path": [s.to_json() for s in self.path]}
+        if self.blame is not None:
+            out["blame"] = self.blame
+        return out
+
+
+def render_diagnostic(d: Diagnostic) -> str:
+    """gcc-style text: location line, context line, path notes and —
+    when present — the pointer-kind blame chain."""
+    from repro.obs.blame import render_chain
+    lines = [f"{d.file}:{d.line}: {d.severity}: {d.message} [{d.code}]"]
+    where = f"  in function '{d.function}', at {d.check}"
+    if d.site >= 0:
+        where += f" (site {d.site})"
+    lines.append(where)
+    for s in d.path:
+        lines.append(f"  {s.file or '<unknown>'}:{s.line or 0}: "
+                     f"note: {s.note}")
+    if d.blame is not None:
+        lines.append("  pointer kind blame:")
+        lines.extend("    " + ln for ln in render_chain(d.blame))
+    return "\n".join(lines)
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint run over one program."""
+
+    name: str
+    optimize: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0        # dropped by repro-lint: ignore comments
+    functions: int = 0         # functions analyzed
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for d in self.diagnostics:
+            out[d.code] = out.get(d.code, 0) + 1
+        return out
+
+    def worst_severity(self) -> Optional[str]:
+        worst = -1
+        for d in self.diagnostics:
+            worst = max(worst, SEVERITIES.index(d.severity))
+        return SEVERITIES[worst] if worst >= 0 else None
+
+    def to_json(self) -> dict:
+        return {"schema": LINT_SCHEMA, "name": self.name,
+                "optimize": self.optimize,
+                "functions": self.functions,
+                "suppressed": self.suppressed,
+                "counts": self.counts(),
+                "diagnostics": [d.to_json()
+                                for d in self.diagnostics]}
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            tail = (f" ({self.suppressed} suppressed)"
+                    if self.suppressed else "")
+            return (f"{self.name}: no must-fail sites "
+                    f"({self.functions} functions, "
+                    f"optimize={self.optimize}){tail}")
+        blocks = [render_diagnostic(d) for d in self.diagnostics]
+        summary = ", ".join(f"{n}× {c}"
+                            for c, n in sorted(self.counts().items()))
+        tail = (f", {self.suppressed} suppressed"
+                if self.suppressed else "")
+        blocks.append(f"{self.name}: {len(self.diagnostics)} "
+                      f"must-fail site(s): {summary}{tail}")
+        return "\n".join(blocks)
+
+
+def reports_json(reports: list[LintReport]) -> str:
+    """The byte-deterministic multi-target JSON document the CI
+    lint gate diffs against its committed baseline."""
+    payload = {"schema": LINT_SCHEMA,
+               "reports": [r.to_json() for r in reports]}
+    return stable_dumps(payload)
+
+
+def reports_sarif(reports: list[LintReport]) -> str:
+    """SARIF 2.1.0 document over all reports (one run)."""
+    rules = [{"id": code,
+              "name": short,
+              "shortDescription": {"text": desc}}
+             for code, (short, desc) in sorted(CODES.items())]
+    results = []
+    for r in reports:
+        for d in r.diagnostics:
+            res: dict = {
+                "ruleId": d.code,
+                "level": d.severity,
+                "message": {"text": f"[{r.name}] {d.message}"},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.file},
+                        "region": {"startLine": max(d.line, 1)},
+                    }}],
+            }
+            if d.path:
+                res["codeFlows"] = [{
+                    "threadFlows": [{"locations": [
+                        {"location": {
+                            "physicalLocation": {
+                                "artifactLocation":
+                                    {"uri": s.file or "<unknown>"},
+                                "region":
+                                    {"startLine": max(s.line or 1, 1)},
+                            },
+                            "message": {"text": s.note},
+                        }} for s in d.path]}]}]
+            results.append(res)
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://github.com/ccured/repro",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+    return stable_dumps(doc)

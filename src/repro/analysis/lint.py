@@ -1,0 +1,477 @@
+"""``repro lint``: cure-time static must-fail diagnostics.
+
+The check eliminator proves checks *pass*; this module runs the same
+must-dataflow engine in the opposite direction and proves surviving
+checks **fail**.  Because the facts are must-facts (they hold on every
+path reaching the point) and diagnostics are only reported in blocks
+reachable over feasible edges, a finding means every execution that
+reaches the site traps — a program that runs to completion can have
+zero findings, which is the precision contract the fault-campaign
+validation (:mod:`repro.faults.lintval`) enforces.
+
+On top of the base domain (``eqz``/``nez``/``nonnull``/``inb``/…) the
+lint transfer adds three *violation* fact kinds:
+
+``("freed", vid)``
+    ``vid`` still holds the address of a heap block that was passed to
+    ``free`` (and has provably not been reassigned since).  A deref
+    check is a use-after-free; another ``free`` is a double free.
+
+``("uninit", vid)``
+    The pointer local ``vid`` has not been assigned on *any* path from
+    function entry.  Seeded as an entry fact for every non-formal,
+    non-temp pointer local; a deref check on it reads indeterminate
+    memory.
+
+``("heapstart", vid)``
+    ``vid`` holds exactly the address an allocator returned — the only
+    address ``free`` accepts — so ``free(vid + k)`` with ``k != 0`` is
+    an invalid (interior) free.
+
+Unlike the eliminator's transfer, calls do not clear everything: a
+callee cannot write a register-only local (not global, never
+address-taken), so constant flags and heap-state facts about such
+locals survive calls.  Facts whose dependency can be read through
+memory (the ``reads_mem`` bit) are still dropped at every call.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import (FactDomain, FactSet, edge_contrib,
+                                     infeasible, ptr_var, solve,
+                                     strip_casts, transfer_instr)
+from repro.analysis.diagnostics import (Diagnostic, LintReport,
+                                        PathStep)
+from repro.cil import expr as E
+from repro.cil import stmt as S
+from repro.cil import types as T
+from repro.cil.program import Program
+
+#: fact kinds that survive a call when their variable is register-only.
+_PERSISTENT = frozenset({"eqz", "nez", "nonnull", "freed", "uninit",
+                         "heapstart", "inb"})
+
+#: callees that return the start of a fresh heap block.
+_ALLOCATORS = frozenset({"malloc", "calloc"})
+
+#: deref checks: the guarded pointer is read through.
+_DEREF = frozenset({S.CheckKind.NULL, S.CheckKind.SEQ_BOUNDS,
+                    S.CheckKind.FSEQ_BOUNDS, S.CheckKind.WILD_BOUNDS})
+
+#: checks whose bounds component can be refuted against an ``inb`` fact.
+_BOUNDS = frozenset({S.CheckKind.SEQ_BOUNDS, S.CheckKind.FSEQ_BOUNDS,
+                     S.CheckKind.WILD_BOUNDS})
+
+#: origin-note labels per violation fact kind (see ``_Origins``).
+Origin = Tuple[Optional[tuple], str]
+
+
+def callee_name(fn: E.Exp) -> Optional[str]:
+    """The name of a direct callee (``free``/``malloc`` detection)."""
+    v = ptr_var(fn)
+    return v.name if v is not None else None
+
+
+def base_and_offset(e: E.Exp) -> Tuple[Optional[E.Varinfo],
+                                       Optional[int]]:
+    """Decompose a pointer expression into ``(base var, constant
+    element offset)``: ``p`` -> ``(p, 0)``, ``p +p 3`` -> ``(p, 3)``,
+    ``p +p i`` -> ``(p, None)``, anything else -> ``(None, None)``."""
+    e = strip_casts(e)
+    v = ptr_var(e)
+    if v is not None:
+        return v, 0
+    if isinstance(e, E.BinOp) and e.op in (E.BinopKind.PLUS_PI,
+                                           E.BinopKind.MINUS_PI):
+        base = ptr_var(e.e1)
+        if base is None:
+            return None, None
+        k = strip_casts(e.e2)
+        if isinstance(k, E.Const) and isinstance(k.value, int):
+            off = k.value
+            if e.op is E.BinopKind.MINUS_PI:
+                off = -off
+            return base, off
+        return base, None
+    return None, None
+
+
+def _inb_bytes(facts: FactSet, vid: int) -> Optional[int]:
+    for f in facts:
+        if f[0] == "inb" and f[1] == vid:
+            return f[2]
+    return None
+
+
+def make_lint_transfer(origins: Dict[tuple, Origin]
+                       ) -> Callable[[FactDomain, FactSet, S.Instr],
+                                     None]:
+    """The lint transfer function: the base semantics plus violation
+    facts, call-surviving register facts, copy propagation, and a
+    side table of fact *origins* (where was it freed / assigned null /
+    allocated) for diagnostic path rendering.  Origins are first-write
+    wins under the solver's deterministic schedule."""
+
+    def _copy_facts(dom: FactDomain, facts: FactSet,
+                    dst: E.Varinfo, src: E.Varinfo) -> None:
+        # v = w: whole-register copies carry w's register-only facts.
+        for f in list(facts):
+            if f[0] in _PERSISTENT and f[1] == src.vid \
+                    and not dom.deps[f][1]:
+                nf = (f[0], dst.vid) + f[2:]
+                dom.add_var_fact(facts, nf, dst)
+                if f in origins:
+                    origins.setdefault(nf, origins[f])
+
+    def _ret_var(ret: Optional[E.Lval]) -> Optional[E.Varinfo]:
+        if ret is not None and isinstance(ret.host, E.Var) \
+                and isinstance(ret.offset, E.NoOffset):
+            return ret.host.var
+        return None
+
+    def transfer(dom: FactDomain, facts: FactSet,
+                 i: S.Instr) -> None:
+        if isinstance(i, S.Call):
+            kept = {f for f in facts
+                    if f[0] in _PERSISTENT and not dom.deps[f][1]}
+            facts.clear()
+            facts.update(kept)
+            rv = _ret_var(i.ret)
+            if rv is not None:
+                dom.kill_var(facts, rv.vid)
+            name = callee_name(i.fn)
+            loc = getattr(i, "loc", None)
+            if name == "free" and i.args:
+                v = ptr_var(i.args[0])
+                if v is not None and ("eqz", v.vid) not in facts:
+                    f = ("freed", v.vid)
+                    dom.add_var_fact(facts, f, v)
+                    origins.setdefault(
+                        f, (loc, f"the block '{v.name}' points to "
+                                 "is freed here"))
+            elif name in _ALLOCATORS and rv is not None:
+                f = ("heapstart", rv.vid)
+                dom.add_var_fact(facts, f, rv)
+                origins.setdefault(
+                    f, (loc, "heap block allocated here"))
+            elif name == "realloc" and rv is not None:
+                # the returned pointer is again a block start
+                dom.add_var_fact(facts, ("heapstart", rv.vid), rv)
+            return
+        transfer_instr(dom, facts, i)
+        if isinstance(i, S.Set) and isinstance(i.lval.host, E.Var) \
+                and isinstance(i.lval.offset, E.NoOffset):
+            var = i.lval.host.var
+            loc = getattr(i, "loc", None)
+            if ("eqz", var.vid) in facts:
+                what = ("null" if T.is_pointer(var.type) else "0")
+                origins.setdefault(
+                    ("eqz", var.vid),
+                    (loc, f"'{var.name}' is assigned {what} here"))
+            for f in facts:
+                if f[0] == "inb" and f[1] == var.vid:
+                    origins.setdefault(
+                        f, (loc, f"'{var.name}' points at the start "
+                                 f"of a {f[2]}-byte object here"))
+            src = ptr_var(i.exp)
+            if src is not None and src.vid != var.vid:
+                _copy_facts(dom, facts, var, src)
+
+    return transfer
+
+
+class _FunctionLint:
+    """Lint one function: solve, compute reachability, walk blocks."""
+
+    def __init__(self, fd: S.Fundec, blame: Optional[Callable]) -> None:
+        self.fd = fd
+        self.blame = blame
+        self.origins: Dict[tuple, Origin] = {}
+        self.diags: Dict[tuple, Diagnostic] = {}
+        self.cfg: CFG = build_cfg(fd)
+        self.dom = FactDomain()
+        self.transfer = make_lint_transfer(self.origins)
+        entry = self._entry_facts()
+        _, self.ins = solve(self.cfg, transfer=self.transfer,
+                            entry_facts=entry, dom=self.dom)
+        self._reach()
+
+    # -- setup -------------------------------------------------------
+
+    def _entry_facts(self) -> FactSet:
+        facts: FactSet = set()
+        for v in self.fd.locals:
+            if v.is_temp or v.is_formal:
+                continue
+            if not T.is_pointer(v.type):
+                continue
+            f = ("uninit", v.vid)
+            self.dom.add_var_fact(facts, f, v)
+            self.origins[f] = (
+                v.decl_loc,
+                f"'{v.name}' declared here without an initializer")
+        return facts
+
+    def _reach(self) -> None:
+        """Blocks reachable from entry over feasible edges, plus the
+        tree edge that discovered each (for path rendering)."""
+        outs: Dict[int, FactSet] = {}
+        for b in self.cfg.blocks:
+            out = set(self.ins[b.bid])
+            for i in b.instrs:
+                self.transfer(self.dom, out, i)
+            outs[b.bid] = out
+        self.parent: Dict[int, Optional[object]] = {
+            self.cfg.entry.bid: None}
+        q = deque([self.cfg.entry])
+        while q:
+            b = q.popleft()
+            for e in b.succs:
+                if e.dst.bid in self.parent:
+                    continue
+                if edge_contrib(self.dom, outs[b.bid], e) is None:
+                    continue  # provably never taken from this state
+                self.parent[e.dst.bid] = e
+                q.append(e.dst)
+
+    # -- diagnosis ---------------------------------------------------
+
+    def run(self) -> list[Diagnostic]:
+        for b in self.cfg.rpo():
+            if b.bid not in self.parent:
+                continue  # unreachable (or only via infeasible edges)
+            facts = set(self.ins[b.bid])
+            if infeasible(facts):
+                continue  # contradictory join state: never executed
+            for i in b.instrs:
+                self._diagnose(i, facts, b.bid)
+                self.transfer(self.dom, facts, i)
+        return sorted(self.diags.values(),
+                      key=lambda d: d.sort_key())
+
+    def _emit(self, code: str, message: str, i: S.Instr, bid: int,
+              check: str, site: int,
+              fact: Optional[tuple] = None) -> None:
+        loc = getattr(i, "loc", None) or ("<unknown>", 0)
+        key = (code, loc[0], loc[1])
+        old = self.diags.get(key)
+        if old is not None and old.site <= (site if site >= 0
+                                            else old.site):
+            return  # keep the first check of the doomed source line
+        d = Diagnostic(code=code, message=message, file=loc[0],
+                       line=loc[1], function=self.fd.name,
+                       check=check, site=site,
+                       path=self._path(bid, fact))
+        if self.blame is not None and isinstance(i, S.Check):
+            d.blame = self.blame(i)
+        self.diags[key] = d
+
+    def _path(self, bid: int,
+              fact: Optional[tuple]) -> list[PathStep]:
+        """Branch decisions on the tree path from entry, then the
+        violated fact's origin event."""
+        edges = []
+        cur = self.parent.get(bid)
+        while cur is not None:
+            edges.append(cur)
+            cur = self.parent.get(cur.src.bid)
+        steps: list[PathStep] = []
+        for e in reversed(edges):
+            for cond, pol, loc in e.conds:
+                if loc is None:
+                    continue
+                steps.append(PathStep(
+                    loc[0], loc[1],
+                    f"taking the branch where ({cond!r}) is "
+                    f"{'true' if pol else 'false'}"))
+        if fact is not None and fact in self.origins:
+            oloc, note = self.origins[fact]
+            if oloc is not None:
+                steps.append(PathStep(oloc[0], oloc[1], note))
+        return steps
+
+    def _diagnose(self, i: S.Instr, facts: FactSet,
+                  bid: int) -> None:
+        if isinstance(i, S.Check):
+            self._diagnose_check(i, facts, bid)
+        elif isinstance(i, S.Call) and callee_name(i.fn) == "free" \
+                and i.args:
+            self._diagnose_free(i, facts, bid)
+
+    def _diagnose_check(self, c: S.Check, facts: FactSet,
+                        bid: int) -> None:
+        if not c.args:
+            return
+        kind = c.kind
+        site = c.site if c.site is not None else -1
+        name = kind.value
+        # constant INDEX checks survive instrumentation only when the
+        # index is provably outside the array
+        if kind is S.CheckKind.INDEX:
+            idx = strip_casts(c.args[0])
+            if isinstance(idx, E.Const) and isinstance(idx.value, int) \
+                    and c.size is not None \
+                    and not (0 <= idx.value < c.size):
+                self._emit("repro-E002",
+                           f"index {idx.value} is outside the "
+                           f"{c.size}-element array", c, bid,
+                           name, site)
+            return
+        v, off = base_and_offset(c.args[0])
+        if v is None:
+            return
+        usable = _DEREF | {S.CheckKind.ALIVE, S.CheckKind.FUNPTR}
+        if ("uninit", v.vid) in facts and kind in usable:
+            self._emit("repro-E005",
+                       f"'{v.name}' is used here but is never "
+                       "assigned on any path from function entry",
+                       c, bid, name, site, ("uninit", v.vid))
+            return
+        if ("eqz", v.vid) in facts \
+                and kind in (_DEREF | {S.CheckKind.FUNPTR}):
+            verb = ("call through" if kind is S.CheckKind.FUNPTR
+                    else "dereference of")
+            self._emit("repro-E001",
+                       f"{verb} '{v.name}', which is definitely "
+                       "null here", c, bid, name, site,
+                       ("eqz", v.vid))
+            return
+        if ("freed", v.vid) in facts \
+                and kind in (_DEREF | {S.CheckKind.ALIVE}):
+            self._emit("repro-E004",
+                       f"use of '{v.name}' after the block it "
+                       "points to was freed", c, bid, name, site,
+                       ("freed", v.vid))
+            return
+        if kind in _BOUNDS and off is not None and c.size is not None:
+            n = _inb_bytes(facts, v.vid)
+            if n is not None:
+                lo = off * c.size
+                if lo < 0 or lo + c.size > n:
+                    self._emit(
+                        "repro-E002",
+                        f"access of {c.size} byte(s) at offset "
+                        f"{lo} overruns the {n}-byte object "
+                        f"'{v.name}' points to", c, bid, name,
+                        site, ("inb", v.vid, n))
+
+    def _diagnose_free(self, i: S.Call, facts: FactSet,
+                       bid: int) -> None:
+        arg = strip_casts(i.args[0])
+        if isinstance(arg, (E.AddrOf, E.StartOf)) \
+                and isinstance(arg.lval.host, E.Var):
+            hv = arg.lval.host.var
+            where = "global" if hv.is_global else "stack local"
+            self._emit("repro-E006",
+                       f"free of the {where} '{hv.name}', which is "
+                       "not a heap block", i, bid, "free", -1)
+            return
+        v, off = base_and_offset(arg)
+        if v is None:
+            return
+        if ("uninit", v.vid) in facts:
+            self._emit("repro-E005",
+                       f"free of '{v.name}', which is never "
+                       "assigned on any path from function entry",
+                       i, bid, "free", -1, ("uninit", v.vid))
+            return
+        if off is not None and off != 0 \
+                and ("heapstart", v.vid) in facts:
+            self._emit("repro-E006",
+                       f"free of '{v.name} + {off}', an interior "
+                       "pointer into a heap block", i, bid,
+                       "free", -1, ("heapstart", v.vid))
+            return
+        if off == 0 and ("freed", v.vid) in facts:
+            self._emit("repro-E003",
+                       f"second free of '{v.name}': the block is "
+                       "already freed", i, bid, "free", -1,
+                       ("freed", v.vid))
+
+
+def _make_blame(cured) -> Optional[Callable]:
+    """A ``Check -> blame chain JSON`` closure over the cured
+    program's blame graph (None unless provenance was recorded)."""
+    if not getattr(cured.options, "provenance", False):
+        return None
+    state: dict = {}
+
+    def blame(c: S.Check) -> Optional[dict]:
+        try:
+            if not c.args:
+                return None
+            u = T.unroll(c.args[0].type())
+            node = u.node if isinstance(u, T.TPtr) else None
+            if node is None or not node.prov:
+                return None
+            graph = state.get("graph")
+            if graph is None:
+                from repro.obs.blame import BlameGraph
+                graph = BlameGraph.from_cured(cured)
+                state["graph"] = graph
+            ch = graph.chain_of(node.id)
+            return ch.to_json() if ch is not None else None
+        except Exception:
+            return None
+
+    return blame
+
+
+def _suppressed(d: Diagnostic, prog: Program) -> bool:
+    """A ``repro-lint: ignore`` comment suppresses diagnostics on its
+    own line or the line directly below it."""
+    sup = prog.lint_suppressions
+    return (d.file, d.line) in sup or (d.file, d.line - 1) in sup
+
+
+def lint_cured(cured, name: Optional[str] = None) -> LintReport:
+    """Lint an already-cured program (never mutates it)."""
+    prog: Program = cured.prog
+    blame = _make_blame(cured)
+    diags: list[Diagnostic] = []
+    functions = 0
+    for fd in prog.fundecs():
+        functions += 1
+        diags.extend(_FunctionLint(fd, blame).run())
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for d in diags:
+        if _suppressed(d, prog):
+            suppressed += 1
+        else:
+            kept.append(d)
+    kept.sort(key=lambda d: d.sort_key())
+    return LintReport(name=name or prog.name,
+                      optimize=cured.optimize_level,
+                      diagnostics=kept, suppressed=suppressed,
+                      functions=functions)
+
+
+def lint_source(source: str, name: str = "program", *,
+                optimize: str = "flow", provenance: bool = True,
+                temporal: bool = False,
+                include_dirs=None) -> LintReport:
+    """Cure C source text, then lint it."""
+    from repro.core import CureOptions, cure
+    cured = cure(source,
+                 options=CureOptions(optimize=optimize,
+                                     provenance=provenance,
+                                     temporal=temporal),
+                 name=name, include_dirs=include_dirs)
+    return lint_cured(cured, name=name)
+
+
+def lint_workload(w, *, optimize: str = "flow",
+                  provenance: bool = True,
+                  scale: Optional[int] = None) -> LintReport:
+    """Lint one benchmark workload (shared pristine cure cache)."""
+    from repro.bench.harness import pristine_cure
+    from repro.core import CureOptions
+    opts = CureOptions(optimize=optimize, provenance=provenance,
+                       trust_bad_casts=w.trust_bad_casts)
+    cured = pristine_cure(w, options=opts, scale=scale)
+    return lint_cured(cured, name=w.name)

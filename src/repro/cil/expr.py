@@ -32,6 +32,9 @@ class Varinfo:
         self.is_temp = is_temp
         self.storage = storage  # "default" | "static" | "extern"
         self.address_taken = False
+        #: (file, line) of the declaration, when the frontend knows it
+        #: (used by lint to point at uninitialized locals).
+        self.decl_loc: Optional[tuple[str, int]] = None
         self.vid = Varinfo._next_id
         Varinfo._next_id = Varinfo._next_id + 1
 

@@ -93,6 +93,10 @@ class Program:
         self.externals: dict[str, Varinfo] = {}
         #: casts the user asserted trusted (Section 3's escape hatch).
         self.trusted_cast_count = 0
+        #: ``(filename, line)`` pairs holding a ``repro-lint: ignore``
+        #: comment; ``repro lint`` drops diagnostics on such a line or
+        #: the line directly below it.
+        self.lint_suppressions: set[tuple[str, int]] = set()
 
     def add(self, g: Global) -> None:
         self.globals.append(g)

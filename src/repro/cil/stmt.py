@@ -71,7 +71,15 @@ class CheckKind(enum.Enum):
 
 
 class Instr:
-    """Base class of instructions (atomic, straight-line effects)."""
+    """Base class of instructions (atomic, straight-line effects).
+
+    ``loc`` is the ``(file, line)`` source position of the statement
+    the instruction was lowered from (``None`` for synthesized code);
+    checks inherit the location of the instruction they protect so
+    diagnostics can be reported gcc-style.
+    """
+
+    loc: Optional[tuple[str, int]] = None
 
 
 class Set(Instr):
@@ -134,6 +142,8 @@ class Check(Instr):
 
 class Stmt:
     """Base class of statements."""
+
+    loc: Optional[tuple[str, int]] = None
 
 
 class InstrStmt(Stmt):

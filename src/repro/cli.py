@@ -10,6 +10,11 @@ Usage (also available as ``python -m repro``)::
     python -m repro workloads              # list the benchmark suite
     python -m repro analyze prog.c         # per-function CFG/dataflow
                                            # and check-elimination stats
+    python -m repro lint prog.c            # static must-fail
+                                           # diagnostics (text/json/
+                                           # sarif, blame-chain paths)
+    python -m repro faults lint            # validate lint against the
+                                           # fault campaign's variants
     python -m repro faults list            # list mutation classes
     python -m repro faults run --seed 1 --campaign smoke
                                            # fault-injection campaign
@@ -254,6 +259,62 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (SEVERITIES, lint_source,
+                                lint_workload, reports_json,
+                                reports_sarif)
+    optimize = args.optimize or "flow"
+    reports = []
+    if args.all_workloads or args.workload:
+        try:
+            selected = _select_workloads(args.workload,
+                                         args.all_workloads)
+        except KeyError as exc:
+            print(f"unknown workload {exc.args[0]!r} "
+                  "(see `python -m repro workloads`)",
+                  file=sys.stderr)
+            return 2
+        for w in selected:
+            if not args.quiet and args.format == "text":
+                print(f"linting {w.name}...", file=sys.stderr)
+            reports.append(lint_workload(w, optimize=optimize,
+                                         scale=args.scale))
+    else:
+        if not args.file:
+            print("lint: give a FILE, --workload NAME[,NAME...] or "
+                  "--all-workloads", file=sys.stderr)
+            return 2
+        # parse_program appends ".c" to the unit name, so strip a
+        # trailing ".c" to keep reported file names exact
+        unit = (args.file[:-2] if args.file.endswith(".c")
+                else args.file)
+        reports.append(lint_source(
+            _read_source(args.file), name=unit,
+            optimize=optimize, temporal=args.temporal,
+            include_dirs=args.include or None))
+    if args.format == "json":
+        text = reports_json(reports)
+    elif args.format == "sarif":
+        text = reports_sarif(reports)
+    else:
+        text = "\n".join(r.render() for r in reports) + "\n"
+    if args.output == "-":
+        print(text, end="")
+    else:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"lint report written to {args.output}",
+              file=sys.stderr)
+    if args.fail_on != "never":
+        threshold = SEVERITIES.index(args.fail_on)
+        for r in reports:
+            worst = r.worst_severity()
+            if worst is not None \
+                    and SEVERITIES.index(worst) >= threshold:
+                return 1
+    return 0
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults import (CAMPAIGNS, MUTATORS, report_to_json,
                               report_to_markdown, run_campaign)
@@ -264,6 +325,29 @@ def cmd_faults(args: argparse.Namespace) -> int:
             print(f"{name:<20} -> {spec.expected.__name__}")
             print(f"{'':20}    {spec.description}")
         return 0
+    if args.faults_command == "lint":
+        from repro.faults.lintval import run_lint_validation
+        try:
+            selected = _select_workloads(args.workloads,
+                                         args.all_workloads)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        val = run_lint_validation(
+            args.seed,
+            workloads=selected or None,
+            classes=(args.classes.split(",") if args.classes
+                     else None),
+            optimize=args.optimize or "flow", scale=args.scale,
+            progress=(None if args.quiet
+                      else lambda line: print(line,
+                                              file=sys.stderr)))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as f:
+                f.write(val.dumps())
+            print(f"report written to {args.json}", file=sys.stderr)
+        print(val.render())
+        return 0 if val.ok else 2
     # faults run
     workloads = (args.workloads.split(",") if args.workloads
                  else None)
@@ -507,6 +591,44 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="DIR", help="extra include directory")
     p_an.set_defaults(fn=cmd_analyze)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="cure-time static diagnostics: sites the must-analysis "
+             "proves fail on every path (with blame-chain paths)")
+    p_lint.add_argument("file", nargs="?", default=None,
+                        help="a C file to lint")
+    p_lint.add_argument("--workload", default=None, metavar="NAME",
+                        help="lint benchmark workload(s) "
+                             "(comma list) instead")
+    p_lint.add_argument("--all-workloads", action="store_true",
+                        help="lint every benchmark workload")
+    p_lint.add_argument("--scale", type=int, default=None,
+                        help="workload problem size")
+    p_lint.add_argument("--optimize", choices=OPTIMIZE_LEVELS,
+                        default=None, metavar="LEVEL",
+                        help="check-elimination level to lint under "
+                             "(default flow)")
+    p_lint.add_argument("--temporal", action="store_true",
+                        help="cure FILE with lock-and-key temporal "
+                             "checking")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="output format (json is byte-"
+                             "deterministic; see the CI lint gate)")
+    p_lint.add_argument("-o", "--output", default="-", metavar="PATH",
+                        help="write the report here ('-' for stdout)")
+    p_lint.add_argument("--fail-on",
+                        choices=("never", "warning", "error"),
+                        default="error",
+                        help="exit 1 when a diagnostic of at least "
+                             "this severity is found")
+    p_lint.add_argument("--quiet", action="store_true",
+                        help="suppress per-workload progress lines")
+    p_lint.add_argument("-I", "--include", action="append",
+                        default=[], metavar="DIR",
+                        help="extra include directory")
+    p_lint.set_defaults(fn=cmd_lint)
+
     p_exp = sub.add_parser(
         "explain",
         help="explain pointer-kind inference: per-pointer blame "
@@ -647,6 +769,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_frun.add_argument("--quiet", action="store_true",
                         help="suppress per-variant progress lines")
     p_frun.set_defaults(fn=cmd_faults)
+    p_flint = fsub.add_parser(
+        "lint", help="validate repro lint against the campaign's "
+                     "variants (static precision/recall)")
+    p_flint.add_argument("--seed", type=int, default=1,
+                         help="campaign seed")
+    p_flint.add_argument("--workloads", default=None,
+                         help="comma list of workloads "
+                              "(default: all 27)")
+    p_flint.add_argument("--all-workloads", action="store_true",
+                         help="validate over every workload "
+                              "(the default)")
+    p_flint.add_argument("--classes", default=None,
+                         help="comma list of mutation classes "
+                              "(default: all 13)")
+    p_flint.add_argument("--optimize", choices=OPTIMIZE_LEVELS,
+                         default=None, metavar="LEVEL")
+    p_flint.add_argument("--scale", type=int, default=None)
+    p_flint.add_argument("--json", default=None, metavar="PATH",
+                         help="write the JSON report here")
+    p_flint.add_argument("--quiet", action="store_true")
+    p_flint.set_defaults(fn=cmd_faults)
     return parser
 
 

@@ -97,18 +97,28 @@ class Instrumenter:
                 out.append(ns)
         return out
 
+    @staticmethod
+    def _stamp(checks: list[S.Check],
+               loc: Optional[tuple[str, int]]) -> list[S.Check]:
+        """Checks report at the source position of the statement whose
+        access they protect."""
+        for c in checks:
+            if c.loc is None:
+                c.loc = loc
+        return checks
+
     def _stmt(self, s: S.Stmt) -> list[S.Stmt]:
         if isinstance(s, S.InstrStmt):
             instrs: list[S.Instr] = []
             for i in s.instrs:
                 self._instr_checks(i)
-                instrs.extend(self._take_pending())
+                instrs.extend(self._stamp(self._take_pending(), i.loc))
                 instrs.append(i)
             return [S.InstrStmt(instrs)]
         if isinstance(s, S.Return):
             if s.exp is not None:
                 self._exp_checks(s.exp)
-                pending = self._take_pending()
+                pending = self._stamp(self._take_pending(), s.loc)
                 if pending:
                     return [S.InstrStmt(list(pending)), s]
             return [s]
@@ -116,12 +126,13 @@ class Instrumenter:
             return [self._block(s)]
         if isinstance(s, S.If):
             self._exp_checks(s.cond)
-            pending = self._take_pending()
+            pending = self._stamp(self._take_pending(), s.loc)
             out: list[S.Stmt] = []
             if pending:
                 out.append(S.InstrStmt(list(pending)))
-            out.append(S.If(s.cond, self._block(s.then),
-                            self._block(s.els)))
+            ni = S.If(s.cond, self._block(s.then), self._block(s.els))
+            ni.loc = s.loc
+            out.append(ni)
             return out
         if isinstance(s, S.Loop):
             loop = S.Loop(self._block(s.body))

@@ -85,13 +85,34 @@ def tokenize(text: str) -> list[str]:
     return out
 
 
-def strip_comments(text: str) -> str:
-    """Remove // and /* */ comments, preserving newlines and strings."""
+#: the magic comment that silences ``repro lint`` diagnostics on its
+#: own line and the line directly below it.
+LINT_IGNORE = "repro-lint: ignore"
+
+
+def strip_comments(text: str,
+                   suppressions: Optional[set] = None) -> str:
+    """Remove // and /* */ comments, preserving newlines and strings.
+
+    When ``suppressions`` is given, the 1-based line number of every
+    comment containing :data:`LINT_IGNORE` is added to it (this is the
+    only chance to see the comment — it is gone after this pass).
+    """
     out: list[str] = []
     i, n = 0, len(text)
+    line = 1
+
+    def note_comment(body: str, at_line: int) -> None:
+        if suppressions is not None and LINT_IGNORE in body:
+            suppressions.add(at_line)
+
     while i < n:
         c = text[i]
-        if c in "\"'":
+        if c == "\n":
+            line += 1
+            out.append(c)
+            i += 1
+        elif c in "\"'":
             quote = c
             j = i + 1
             while j < n:
@@ -103,15 +124,21 @@ def strip_comments(text: str) -> str:
                     break
                 j += 1
             out.append(text[i:j])
+            line += text.count("\n", i, j)
             i = j
         elif text.startswith("//", i):
+            start = i
             while i < n and text[i] != "\n":
                 i += 1
+            note_comment(text[start:i], line)
         elif text.startswith("/*", i):
             end = text.find("*/", i + 2)
             if end < 0:
                 raise PreprocessError("unterminated comment")
-            out.append("\n" * text.count("\n", i, end + 2))
+            note_comment(text[i:end], line)
+            newlines = text.count("\n", i, end + 2)
+            out.append("\n" * newlines)
+            line += newlines
             i = end + 2
         else:
             out.append(c)
@@ -149,6 +176,9 @@ class Preprocessor:
         for name, body in (defines or {}).items():
             self.macros[name] = Macro(name, body)
         self._include_depth = 0
+        #: ``(filename, line)`` pairs carrying a ``repro-lint: ignore``
+        #: comment, across the top-level file and all includes.
+        self.lint_suppressions: set[tuple[str, int]] = set()
 
     # -- include resolution ---------------------------------------------
 
@@ -277,7 +307,10 @@ class Preprocessor:
                    filename: str = "<input>") -> str:
         current_dir = (os.path.dirname(os.path.abspath(filename))
                        if filename != "<input>" else None)
-        text = strip_comments(splice_lines(source))
+        ignore_lines: set = set()
+        text = strip_comments(splice_lines(source), ignore_lines)
+        self.lint_suppressions.update(
+            (filename, ln) for ln in ignore_lines)
         out: list[str] = []
         conds: list[_CondState] = []
 
@@ -405,9 +438,16 @@ class Preprocessor:
             body = f.read()
         self._include_depth += 1
         try:
-            return self.preprocess(body, path).rstrip("\n")
+            expanded = self.preprocess(body, path).rstrip("\n")
         finally:
             self._include_depth -= 1
+        # Bracket the inlined file with pycparser-style line markers so
+        # source coordinates (and hence lint diagnostics) survive
+        # inclusion: the body reports positions in the included file,
+        # and the marker after it resumes the including file at the
+        # line following the ``#include``.
+        return (f'# 1 "{path}"\n{expanded}\n'
+                f'# {lineno + 1} "{filename}"')
 
 
 class _CondEval:

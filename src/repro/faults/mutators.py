@@ -437,6 +437,9 @@ def graft(target: Program, spec: FaultSpec,
     tmain = target.functions.get("main")
     if tmain is None:
         raise ValueError("target program has no main to graft into")
+    # lint-suppression comments in the fragment must keep working
+    # once its statements live inside the target program
+    target.lint_suppressions |= frag.lint_suppressions
 
     # 1. remap fragment declarations of symbols the target defines
     remap: dict[int, E.Varinfo] = {}

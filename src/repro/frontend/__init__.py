@@ -10,7 +10,7 @@ from typing import Mapping, Optional, Sequence
 from pycparser import c_parser
 
 from repro.cil.program import Program
-from repro.cpp import preprocess
+from repro.cpp import Preprocessor
 from repro.frontend.lower import Lowerer, UnsupportedCError, fresh_type
 
 __all__ = ["parse_program", "parse_files", "Lowerer",
@@ -36,9 +36,9 @@ def parse_files(sources: Sequence[tuple[str, str]], name: str = "program",
         parser = c_parser.CParser()
         for filename, source in sources:
             with TRACER.span("preprocess", file=filename):
-                text = preprocess(source, filename=filename,
-                                  include_dirs=include_dirs,
-                                  defines=defines)
+                pp = Preprocessor(include_dirs, defines)
+                text = pp.preprocess(source, filename=filename)
+            lowerer.prog.lint_suppressions |= pp.lint_suppressions
             # pycparser chokes on #pragma lines at certain positions
             # only if malformed; ours are kept verbatim and parsed as
             # Pragma nodes.

@@ -116,12 +116,19 @@ def fresh_type(t: T.CType) -> T.CType:
 
 
 class _BlockBuilder:
-    """Accumulates statements, merging consecutive instructions."""
+    """Accumulates statements, merging consecutive instructions.
 
-    def __init__(self) -> None:
+    ``owner`` (the :class:`Lowerer`) supplies the current source
+    location, stamped onto every emitted instruction for diagnostics.
+    """
+
+    def __init__(self, owner: Optional["Lowerer"] = None) -> None:
         self.stmts: list[S.Stmt] = []
+        self.owner = owner
 
     def emit(self, instr: S.Instr) -> None:
+        if instr.loc is None and self.owner is not None:
+            instr.loc = self.owner._cur_loc
         if self.stmts and isinstance(self.stmts[-1], S.InstrStmt):
             self.stmts[-1].instrs.append(instr)
         else:
@@ -145,6 +152,8 @@ class Lowerer:
         self.builder: Optional[_BlockBuilder] = None
         self._anon_counter = 0
         self._forbid_effects = False
+        #: (file, line) of the statement currently being lowered.
+        self._cur_loc: Optional[tuple[str, int]] = None
 
     # ------------------------------------------------------------------
     # Scope handling
@@ -478,7 +487,7 @@ class Lowerer:
         self.push_scope()
         for v in formals:
             self.bind(v.name, v)
-        builder = _BlockBuilder()
+        builder = _BlockBuilder(self)
         prev_builder = self.builder
         self.builder = builder
         self.compound(node.body, new_scope=True)
@@ -501,9 +510,18 @@ class Lowerer:
         if new_scope:
             self.pop_scope()
 
+    def _loc_of(self, node: c_ast.Node) -> Optional[tuple[str, int]]:
+        coord = getattr(node, "coord", None)
+        if coord is None or coord.file is None:
+            return None
+        return (coord.file, coord.line)
+
     def statement(self, node: c_ast.Node) -> None:
         assert self.builder is not None
         b = self.builder
+        loc = self._loc_of(node)
+        if loc is not None:
+            self._cur_loc = loc
         if isinstance(node, c_ast.Decl):
             self.local_decl(node)
         elif isinstance(node, c_ast.Typedef):
@@ -521,7 +539,9 @@ class Lowerer:
             els = self.in_new_block(
                 lambda: self.statement(node.iffalse)
                 if node.iffalse else None)
-            b.add(S.If(cond, then, els))
+            s = S.If(cond, then, els)
+            s.loc = loc
+            b.add(s)
         elif isinstance(node, c_ast.While):
             self._loop(cond_node=node.cond, body_node=node.stmt,
                        post=None, test_first=True)
@@ -547,7 +567,9 @@ class Lowerer:
                     if self.cur_fun else T.int_t()
                 if not T.is_void(rt):
                     e = self.coerce(e, rt)
-            b.add(S.Return(e))
+            ret = S.Return(e)
+            ret.loc = loc
+            b.add(ret)
         elif isinstance(node, c_ast.Break):
             b.add(S.Break())
         elif isinstance(node, c_ast.Continue):
@@ -566,7 +588,7 @@ class Lowerer:
     def in_new_block(self, fn) -> S.Block:
         assert self.builder is not None
         saved = self.builder
-        self.builder = _BlockBuilder()
+        self.builder = _BlockBuilder(self)
         try:
             fn()
             return self.builder.block()
@@ -580,10 +602,14 @@ class Lowerer:
         def build_body() -> None:
             assert self.builder is not None
             if test_first and cond_node is not None:
+                cloc = self._loc_of(cond_node)
+                if cloc is not None:
+                    self._cur_loc = cloc
                 cond = self.rvalue(cond_node)
-                self.builder.add(
-                    S.If(E.UnOp(E.UnopKind.LNOT, cond, T.int_t()),
-                         S.Block([S.Break()]), S.Block()))
+                test = S.If(E.UnOp(E.UnopKind.LNOT, cond, T.int_t()),
+                            S.Block([S.Break()]), S.Block())
+                test.loc = cloc
+                self.builder.add(test)
             if body_node is not None:
                 # ``continue`` must run the post-expression; we wrap the
                 # body so that continue in for-loops is handled by
@@ -594,10 +620,14 @@ class Lowerer:
             if post is not None:
                 self.expr_effect(post)
             if not test_first and cond_node is not None:
+                cloc = self._loc_of(cond_node)
+                if cloc is not None:
+                    self._cur_loc = cloc
                 cond = self.rvalue(cond_node)
-                self.builder.add(
-                    S.If(E.UnOp(E.UnopKind.LNOT, cond, T.int_t()),
-                         S.Block([S.Break()]), S.Block()))
+                test = S.If(E.UnOp(E.UnopKind.LNOT, cond, T.int_t()),
+                            S.Block([S.Break()]), S.Block())
+                test.loc = cloc
+                self.builder.add(test)
 
         body = self.in_new_block(build_body)
         # Mark the trailing statements that `continue` must still run
@@ -712,6 +742,9 @@ class Lowerer:
 
     def local_decl(self, node: c_ast.Decl) -> None:
         assert self.cur_fun is not None and self.builder is not None
+        loc = self._loc_of(node)
+        if loc is not None:
+            self._cur_loc = loc
         if node.name is None:
             if isinstance(node.type, (c_ast.Struct, c_ast.Union)):
                 self.conv_comp(node.type)
@@ -737,10 +770,12 @@ class Lowerer:
             init0 = self.conv_init(node.init, t)
             ut.length = _init_length(init0)
             var = self.cur_fun.new_local(node.name, t)
+            var.decl_loc = loc
             self.bind(node.name, var)
             self._assign_init(E.var_lval(var), init0, t)
             return
         var = self.cur_fun.new_local(node.name, t)
+        var.decl_loc = loc
         self.bind(node.name, var)
         if node.init is not None:
             init = self.conv_init(node.init, t)
@@ -1071,10 +1106,10 @@ class Lowerer:
         # Determine the result type from both arms; convert both arms in
         # sub-blocks so their effects stay on the taken path.
         saved = self.builder
-        self.builder = _BlockBuilder()
+        self.builder = _BlockBuilder(self)
         a = self.rvalue(node.iftrue)
         then_bb = self.builder
-        self.builder = _BlockBuilder()
+        self.builder = _BlockBuilder(self)
         b = self.rvalue(node.iffalse)
         else_bb = self.builder
         self.builder = saved
