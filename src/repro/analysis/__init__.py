@@ -29,7 +29,8 @@ from repro.analysis.eliminate import (FunctionAnalysis, analyze_fundec,
 from repro.analysis.lint import (lint_cured, lint_source,
                                  lint_workload)
 from repro.analysis.stats import (analyze_cured, analyze_fundec_stats,
-                                  analyze_source, render_table)
+                                  analyze_source, analyze_workload,
+                                  render_table)
 
 __all__ = [
     "CFG", "BasicBlock", "Edge", "build_cfg",
@@ -40,5 +41,5 @@ __all__ = [
     "lint_cured", "lint_source", "lint_workload",
     "FunctionAnalysis", "analyze_fundec", "eliminate_checks_flow",
     "analyze_cured", "analyze_fundec_stats", "analyze_source",
-    "render_table",
+    "analyze_workload", "render_table",
 ]

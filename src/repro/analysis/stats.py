@@ -83,6 +83,16 @@ def analyze_source(source: str, name: str = "program",
     return analyze_cured(cured)
 
 
+def analyze_workload(w, scale: Optional[int] = None) -> dict:
+    """Analyze one benchmark workload at ``optimize="none"`` through
+    the shared pristine parse/cure caches — the unit of work both the
+    serial ``repro analyze`` loop and the sharded sweep run."""
+    from repro.bench.harness import cached_cure
+    cured = cached_cure(w, options=CureOptions(optimize="none"),
+                        scale=scale)
+    return analyze_cured(cured)
+
+
 def render_table(stats: dict) -> str:
     """A readable fixed-width table of per-function statistics."""
     cols = ("function", "blocks", "edges", "back_edges", "facts",

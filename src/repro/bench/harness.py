@@ -24,7 +24,8 @@ options)`` run (see :func:`_result_key` — the engine and the
 check-elimination level are always explicit in the key) yields the
 same ``(cycles, status, steps, stdout, checks)`` every time, so
 repeat requests across table tests are answered from
-``_RESULT_CACHE`` instead of re-interpreting the program.  Executions themselves run on
+``_RESULT_CACHE`` instead of re-interpreting the program.
+Executions themselves run on
 the pristine cached trees — interpretation never mutates the IR (the
 interpreter only stamps idempotent per-``Varinfo``/type caches), so
 no defensive copy is needed for a measurement, and the closure
@@ -36,10 +37,12 @@ from __future__ import annotations
 import copy
 import difflib
 import math
-from dataclasses import dataclass, field, fields as _dc_fields
+from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.baselines import PurifyChecker, ValgrindChecker
+from repro.cache import (canonical_options, cure_key, get_cache,
+                         options_key as _options_key, parse_key)
 from repro.cil.program import Program
 from repro.core import CureOptions, CuredProgram, cure as _cure
 from repro.cpp import PreprocessError
@@ -118,32 +121,16 @@ def count_lines(source: str) -> int:
 _SOURCE_CACHE: dict[str, str] = {}
 _PARSE_CACHE: dict[tuple, Program] = {}
 _CURE_CACHE: dict[tuple, CuredProgram] = {}
+#: preprocessed text + lint suppressions per (workload, scale) — the
+#: content half of a disk-cache key (see :mod:`repro.cache.keys`)
+_PP_CACHE: dict[tuple, tuple[str, tuple]] = {}
 #: memoized measurements:
 #: key -> (cycles, status, steps, stdout, checks executed)
 _RESULT_CACHE: dict[tuple, tuple[int, int, int, str, int]] = {}
 
-
-def _options_key(options: Optional[CureOptions]) -> Optional[tuple]:
-    """A hashable identity for a :class:`CureOptions` (sets become
-    sorted tuples).  ``None`` stays ``None``: the workload's own
-    default options are part of the workload's identity."""
-    if options is None:
-        return None
-    parts = []
-    for fld in _dc_fields(options):
-        if fld.name in ("optimize", "optimize_checks"):
-            # Folded into the single canonical level entry below, so a
-            # ``--optimize=none|local|flow`` sweep can never reuse a
-            # program cured at another level, and equivalent spellings
-            # (optimize_checks=False vs optimize="none") share one
-            # cache entry.
-            continue
-        v = getattr(options, fld.name)
-        if isinstance(v, (set, frozenset)):
-            v = tuple(sorted(v))
-        parts.append((fld.name, v))
-    parts.append(("optimize", options.optimize_level))
-    return tuple(parts)
+# The canonical CureOptions identity lives in repro.cache.keys now
+# (imported above as _options_key): the in-process memoization and the
+# on-disk cure cache key options the same way by construction.
 
 
 def cached_source(w: Workload) -> str:
@@ -155,13 +142,46 @@ def cached_source(w: Workload) -> str:
     return src
 
 
+def _preprocessed(w: Workload,
+                  scale: Optional[int]) -> tuple[str, tuple]:
+    """The preprocessed source text and the lint-suppression set —
+    exactly what :meth:`Workload.parse` would feed the C parser, and
+    therefore the content half of the workload's disk-cache key."""
+    key = (w.name, scale if scale is not None else w.scale)
+    got = _PP_CACHE.get(key)
+    if got is None:
+        from repro.cpp.preprocessor import Preprocessor
+        from repro.workloads import PROGRAM_DIR
+        pp = Preprocessor([PROGRAM_DIR], w._defines(scale))
+        text = pp.preprocess(cached_source(w),
+                             filename=w.name + ".c")
+        got = (text, tuple(sorted(pp.lint_suppressions)))
+        _PP_CACHE[key] = got
+    return got
+
+
 def pristine_parse(w: Workload,
                    scale: Optional[int] = None) -> Program:
-    """The shared pristine parse — read/interpret only, never cure."""
+    """The shared pristine parse — read/interpret only, never cure.
+
+    Backed by the content-addressed disk cache: a warm process skips
+    the preprocessor-to-lowering pipeline entirely and unpickles the
+    stored tree (traced as a ``parse`` span with ``cached=True``)."""
     key = (w.name, scale if scale is not None else w.scale)
     prog = _PARSE_CACHE.get(key)
     if prog is None:
-        prog = w.parse(scale)
+        disk = get_cache()
+        dkey = None
+        if disk.enabled:
+            text, sup = _preprocessed(w, scale)
+            dkey = parse_key(text, sup, w.name)
+            from repro.obs.tracer import TRACER
+            with TRACER.span("parse", name=w.name, cached=True):
+                prog = disk.load(dkey)
+        if prog is None:
+            prog = w.parse(scale)
+            if dkey is not None:
+                disk.store(dkey, prog)
         _PARSE_CACHE[key] = prog
     return prog
 
@@ -169,17 +189,46 @@ def pristine_parse(w: Workload,
 def pristine_cure(w: Workload,
                   options: Optional[CureOptions] = None,
                   scale: Optional[int] = None) -> CuredProgram:
-    """The shared pristine cure — read/interpret only, never mutate."""
+    """The shared pristine cure — read/interpret only, never mutate.
+
+    Backed by the content-addressed disk cache keyed on
+    ``hash(preprocessed source, canonical options, schema)``: a warm
+    process unpickles the cured tree (plus its static metrics) instead
+    of re-running constraints/solve/instrument (traced as a ``cure``
+    span with ``cached=True``)."""
     key = (w.name, scale if scale is not None else w.scale,
            _options_key(options))
     cured = _CURE_CACHE.get(key)
     if cured is None:
-        # Cure a copy of the cached parse: ``w.cure()`` would re-parse
-        # from scratch, and parsing dominates the cure pipeline.
-        opts = options if options is not None else CureOptions(
-            trust_bad_casts=w.trust_bad_casts)
-        cured = _cure(copy.deepcopy(pristine_parse(w, scale)),
-                      options=opts, name=w.name)
+        disk = get_cache()
+        dkey = None
+        if disk.enabled:
+            text, sup = _preprocessed(w, scale)
+            dkey = cure_key(
+                text, sup, w.name,
+                canonical_options(
+                    options, trust_bad_casts=w.trust_bad_casts))
+            from repro.obs.tracer import TRACER
+            with TRACER.span("cure", name=w.name, cached=True):
+                cured = disk.load(dkey)
+        if cured is None:
+            # Cure a copy of the cached parse: ``w.cure()`` would
+            # re-parse from scratch, and parsing dominates the cure
+            # pipeline.
+            opts = options if options is not None else CureOptions(
+                trust_bad_casts=w.trust_bad_casts)
+            cured = _cure(copy.deepcopy(pristine_parse(w, scale)),
+                          options=opts, name=w.name)
+            if dkey is not None:
+                disk.store(dkey, cured, static={
+                    "kind_pct": cured.kind_percentages(),
+                    "checks_emitted": {
+                        k.value: v for k, v in
+                        sorted(cured.check_counts.items(),
+                               key=lambda kv: kv[0].value)},
+                    "checks_removed": cured.checks_removed,
+                    "optimize": cured.optimize_level,
+                })
         _CURE_CACHE[key] = cured
     return cured
 
@@ -198,10 +247,14 @@ def cached_cure(w: Workload,
 
 
 def clear_program_cache() -> None:
-    """Drop all cached parses/cures (tests poking at tree internals)."""
+    """Drop all in-process cached parses/cures (tests poking at tree
+    internals).  The on-disk cure cache is untouched: a disk hit hands
+    back a freshly unpickled tree, which is exactly the isolation this
+    reset exists to restore."""
     _SOURCE_CACHE.clear()
     _PARSE_CACHE.clear()
     _CURE_CACHE.clear()
+    _PP_CACHE.clear()
     _RESULT_CACHE.clear()
 
 

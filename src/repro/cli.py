@@ -29,6 +29,17 @@ Usage (also available as ``python -m repro``)::
     python -m repro explain diff --baseline a.json --current b.json
                                            # did the annotation
                                            # shrink WILD?
+    python -m repro sweep --jobs auto --out artifacts/
+                                           # the full workload matrix,
+                                           # sharded across cores
+    python -m repro cache stats|clear      # the content-addressed
+                                           # cure cache
+
+Sweep-shaped commands (``metrics``, ``lint``, ``analyze``, ``faults
+run``, ``faults lint``, ``sweep``) accept ``--jobs N|auto`` to shard
+their workload loop across processes; sharded output is byte-identical
+to the serial output, and all of them share the on-disk cure cache
+(``REPRO_CACHE_DIR``; ``REPRO_CACHE=off`` disables it).
 
 The exit status of ``run`` is the program's exit status; memory-safety
 failures exit with status 99 after printing the check that fired,
@@ -81,6 +92,52 @@ def _add_engine_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument("--engine", choices=ENGINES, default="closures",
                    help="execution engine: the closure compiler "
                         "(default) or the tree-walking oracle")
+
+
+def _jobs_value(text: str):
+    """``--jobs`` values: a positive integer, or ``auto`` for one
+    worker per core (:func:`repro.sweep.resolve_jobs` resolves it)."""
+    s = text.strip().lower()
+    if s == "auto":
+        return "auto"
+    try:
+        n = int(s)
+    except ValueError:
+        n = 0
+    if n < 1:
+        raise argparse.ArgumentTypeError(
+            f"invalid --jobs value {text!r} (a positive integer, "
+            "or 'auto')")
+    return n
+
+
+def _shared_flags(*, jobs: bool = False, quiet: bool = False,
+                  json_path: bool = False,
+                  json_const: bool = False) -> argparse.ArgumentParser:
+    """A parent parser carrying the flags every sweep-shaped command
+    spells the same way: ``--jobs N|auto``, ``--quiet``, and
+    ``--json PATH`` (``json_const`` selects the optional-PATH variant
+    where a bare ``--json`` means stdout)."""
+    p = argparse.ArgumentParser(add_help=False)
+    if jobs:
+        p.add_argument("--jobs", type=_jobs_value, default=None,
+                       metavar="N",
+                       help="parallel worker processes ('auto' = one "
+                            "per core; default: serial)")
+    if quiet:
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress progress lines")
+    if json_path:
+        if json_const:
+            p.add_argument("--json", nargs="?", const="-",
+                           default=None, metavar="PATH",
+                           help="emit deterministic JSON (to PATH, "
+                                "or stdout when no PATH is given)")
+        else:
+            p.add_argument("--json", default=None, metavar="PATH",
+                           help="write the JSON report here "
+                                "('-' for stdout)")
+    return p
 
 
 def _add_cure_flags(p: argparse.ArgumentParser) -> None:
@@ -210,30 +267,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_analyze(args: argparse.Namespace) -> int:
     import json
 
-    from repro.analysis import (analyze_cured, analyze_source,
-                                render_table)
+    from repro.analysis import analyze_source, render_table
     reports = []
     if args.all_workloads or args.workload:
-        from repro.bench.harness import pristine_parse
-        from repro.workloads import all_workloads, get
-        if args.all_workloads:
-            selected = list(all_workloads())
-        else:
-            try:
-                selected = [get(args.workload)]
-            except KeyError:
-                print(f"unknown workload {args.workload!r} "
-                      "(see `python -m repro workloads`)",
-                      file=sys.stderr)
-                return 2
-        import copy
-
-        from repro.core.options import CureOptions as _CO
-        for w in selected:
-            prog = copy.deepcopy(pristine_parse(w, args.scale))
-            cured = cure(prog, options=_CO(optimize="none"),
-                         name=w.name)
-            reports.append(analyze_cured(cured))
+        from repro.sweep import sharded_analyze
+        try:
+            selected = _select_workloads(args.workload,
+                                         args.all_workloads)
+        except KeyError as exc:
+            print(f"unknown workload {exc.args[0]!r} "
+                  "(see `python -m repro workloads`)",
+                  file=sys.stderr)
+            return 2
+        reports = sharded_analyze(selected, scale=args.scale,
+                                  jobs=args.jobs)
     else:
         if not args.file:
             print("analyze: give a FILE, --workload NAME or "
@@ -261,11 +308,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (SEVERITIES, lint_source,
-                                lint_workload, reports_json,
-                                reports_sarif)
+                                reports_json, reports_sarif)
     optimize = args.optimize or "flow"
     reports = []
     if args.all_workloads or args.workload:
+        from repro.sweep import sharded_lint
         try:
             selected = _select_workloads(args.workload,
                                          args.all_workloads)
@@ -274,11 +321,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
                   "(see `python -m repro workloads`)",
                   file=sys.stderr)
             return 2
-        for w in selected:
-            if not args.quiet and args.format == "text":
-                print(f"linting {w.name}...", file=sys.stderr)
-            reports.append(lint_workload(w, optimize=optimize,
-                                         scale=args.scale))
+        show = not args.quiet and args.format == "text"
+        reports = sharded_lint(
+            selected, optimize=optimize, scale=args.scale,
+            jobs=args.jobs,
+            progress=((lambda line: print(line, file=sys.stderr))
+                      if show else None))
     else:
         if not args.file:
             print("lint: give a FILE, --workload NAME[,NAME...] or "
@@ -315,9 +363,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_json(text: str, path: str, what: str = "report") -> None:
+    """Write a JSON document to ``path``, with ``-`` meaning stdout —
+    the one spelling every ``--json PATH`` flag shares."""
+    if path == "-":
+        sys.stdout.write(text)
+        return
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    print(f"{what} written to {path}", file=sys.stderr)
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
-    from repro.faults import (CAMPAIGNS, MUTATORS, report_to_json,
-                              report_to_markdown, run_campaign)
+    from repro.faults import MUTATORS, report_to_json, \
+        report_to_markdown
     if args.faults_command == "list":
         for name, builder in MUTATORS.items():
             import random
@@ -326,37 +385,37 @@ def cmd_faults(args: argparse.Namespace) -> int:
             print(f"{'':20}    {spec.description}")
         return 0
     if args.faults_command == "lint":
-        from repro.faults.lintval import run_lint_validation
+        from repro.sweep import sharded_lintval
         try:
             selected = _select_workloads(args.workloads,
                                          args.all_workloads)
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
-        val = run_lint_validation(
+        val = sharded_lintval(
             args.seed,
             workloads=selected or None,
             classes=(args.classes.split(",") if args.classes
                      else None),
             optimize=args.optimize or "flow", scale=args.scale,
+            jobs=args.jobs,
             progress=(None if args.quiet
                       else lambda line: print(line,
                                               file=sys.stderr)))
         if args.json:
-            with open(args.json, "w", encoding="utf-8") as f:
-                f.write(val.dumps())
-            print(f"report written to {args.json}", file=sys.stderr)
+            _emit_json(val.dumps(), args.json)
         print(val.render())
         return 0 if val.ok else 2
     # faults run
+    from repro.sweep import sharded_campaign
     workloads = (args.workloads.split(",") if args.workloads
                  else None)
     classes = args.classes.split(",") if args.classes else None
     try:
-        report = run_campaign(
+        report = sharded_campaign(
             args.seed, args.campaign, workloads=workloads,
             classes=classes, scale=args.scale,
-            optimize=args.optimize,
+            optimize=args.optimize, jobs=args.jobs,
             progress=(None if args.quiet
                       else lambda line: print(line,
                                               file=sys.stderr)))
@@ -364,9 +423,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as f:
-            f.write(report_to_json(report))
-        print(f"report written to {args.json}", file=sys.stderr)
+        _emit_json(report_to_json(report), args.json)
     print(report_to_markdown(report), end="")
     return 0 if report.ok else 2
 
@@ -452,9 +509,9 @@ def _select_workloads(names: Optional[str], all_workloads: bool):
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
-    from repro.obs import (Thresholds, collect_metrics, diff_reports,
-                           load_json, render_diff, render_report,
-                           write_json)
+    from repro.obs import (Thresholds, diff_reports, load_json,
+                           render_diff, render_report, write_json)
+    from repro.sweep import sharded_metrics
 
     if getattr(args, "metrics_command", None) == "diff":
         baseline = load_json(args.baseline)
@@ -465,11 +522,12 @@ def cmd_metrics(args: argparse.Namespace) -> int:
             # configuration, over the full suite (so brand-new
             # workloads surface as notes).
             from repro.workloads import all_workloads
-            report = collect_metrics(
+            report = sharded_metrics(
                 list(all_workloads()),
                 engine=baseline.get("engine", "closures"),
                 optimize=baseline.get("optimize"),
                 scale=baseline.get("scale"),
+                jobs=args.jobs,
                 progress=(None if args.quiet else
                           lambda line: print(line, file=sys.stderr)))
             current = report.to_json()
@@ -500,11 +558,11 @@ def cmd_metrics(args: argparse.Namespace) -> int:
               "--all-workloads", file=sys.stderr)
         return 2
     trace_records: Optional[list] = [] if args.trace else None
-    report = collect_metrics(
+    report = sharded_metrics(
         selected, engine=args.engine, optimize=args.optimize,
         scale=args.scale, timing=args.timing,
         provenance=args.provenance, temporal=args.temporal,
-        trace=trace_records,
+        trace=trace_records, jobs=args.jobs,
         progress=(None if (args.quiet or not args.json) else
                   lambda line: print(line, file=sys.stderr)))
     if args.trace:
@@ -523,6 +581,68 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     else:
         print(render_report(report, top_sites=args.top))
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import get_cache
+    from repro.obs.serialize import stable_dumps
+    disk = get_cache()
+    if args.cache_command == "clear":
+        removed = disk.clear()
+        print(f"cure cache cleared: {removed} entries removed "
+              f"({disk.root})")
+        return 0
+    # cache stats
+    stats = disk.stats()
+    if args.json:
+        _emit_json(stable_dumps(stats.to_json()), args.json,
+                   "cache stats")
+        return 0
+    state = "enabled" if stats.enabled else "DISABLED (REPRO_CACHE)"
+    print(f"cure cache at {stats.root} [{state}]")
+    print(f"  entries     {stats.entries:>8}  "
+          f"({stats.bytes / 1024:.0f} KiB)")
+    print(f"  hits        {stats.hits:>8}")
+    print(f"  misses      {stats.misses:>8}")
+    print(f"  stores      {stats.stores:>8}")
+    print(f"  invalidated {stats.invalidated:>8}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.obs.serialize import stable_dumps
+    from repro.sweep import run_sweep
+    targets = tuple(t.strip() for t in args.targets.split(",")
+                    if t.strip())
+    engines = tuple(e.strip() for e in args.engines.split(",")
+                    if e.strip())
+    levels = tuple(lv.strip() for lv in args.optimize.split(",")
+                   if lv.strip())
+    for e in engines:
+        if e not in ENGINES:
+            print(f"sweep: unknown engine {e!r}", file=sys.stderr)
+            return 2
+    for lv in levels:
+        if lv not in OPTIMIZE_LEVELS:
+            print(f"sweep: unknown optimize level {lv!r}",
+                  file=sys.stderr)
+            return 2
+    try:
+        summary = run_sweep(
+            targets=targets, engines=engines, levels=levels,
+            jobs=args.jobs, out_dir=args.out, seed=args.seed,
+            campaign=args.campaign, scale=args.scale,
+            progress=(None if args.quiet
+                      else lambda line: print(line,
+                                              file=sys.stderr)))
+    except KeyError as exc:
+        print(f"sweep: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit_json(stable_dumps(summary.to_json()), args.json,
+                   "sweep summary")
+    print(summary.render())
+    return 0 if summary.ok else 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -575,24 +695,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_an = sub.add_parser(
         "analyze",
+        parents=[_shared_flags(jobs=True, json_path=True)],
         help="per-function CFG, dataflow-fact and check-elimination "
              "statistics")
     p_an.add_argument("file", nargs="?", default=None,
                       help="a C file to analyze")
-    p_an.add_argument("--workload", default=None, metavar="NAME",
-                      help="analyze one benchmark workload instead")
+    p_an.add_argument("--workload", default=None, metavar="NAMES",
+                      help="analyze benchmark workload(s) "
+                           "(comma list) instead")
     p_an.add_argument("--all-workloads", action="store_true",
                       help="analyze every benchmark workload")
     p_an.add_argument("--scale", type=int, default=None,
                       help="workload problem size")
-    p_an.add_argument("--json", default=None, metavar="PATH",
-                      help="write JSON stats here ('-' for stdout)")
     p_an.add_argument("-I", "--include", action="append", default=[],
                       metavar="DIR", help="extra include directory")
     p_an.set_defaults(fn=cmd_analyze)
 
     p_lint = sub.add_parser(
         "lint",
+        parents=[_shared_flags(jobs=True, quiet=True)],
         help="cure-time static diagnostics: sites the must-analysis "
              "proves fail on every path (with blame-chain paths)")
     p_lint.add_argument("file", nargs="?", default=None,
@@ -622,8 +743,6 @@ def build_parser() -> argparse.ArgumentParser:
                         default="error",
                         help="exit 1 when a diagnostic of at least "
                              "this severity is found")
-    p_lint.add_argument("--quiet", action="store_true",
-                        help="suppress per-workload progress lines")
     p_lint.add_argument("-I", "--include", action="append",
                         default=[], metavar="DIR",
                         help="extra include directory")
@@ -660,6 +779,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_met = sub.add_parser(
         "metrics",
+        parents=[_shared_flags(jobs=True, quiet=True,
+                               json_path=True, json_const=True)],
         help="pipeline observability: per-phase timings, check-site "
              "histograms, pointer-kind distributions, and regression "
              "diffs")
@@ -672,10 +793,6 @@ def build_parser() -> argparse.ArgumentParser:
     p_met.add_argument("--optimize", choices=OPTIMIZE_LEVELS,
                        default=None, metavar="LEVEL",
                        help="check-elimination level (default: flow)")
-    p_met.add_argument("--json", nargs="?", const="-", default=None,
-                       metavar="PATH",
-                       help="emit deterministic JSON (to PATH, or "
-                            "stdout when no PATH is given)")
     p_met.add_argument("--timing", action="store_true",
                        help="also collect per-phase wall times "
                             "(non-deterministic; excluded from the "
@@ -697,13 +814,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_met.add_argument("--top", type=int, default=5, metavar="N",
                        help="hottest check sites listed per workload "
                             "in table output")
-    p_met.add_argument("--quiet", action="store_true",
-                       help="suppress per-workload progress lines")
     _add_engine_flag(p_met)
     p_met.set_defaults(fn=cmd_metrics, metrics_command=None)
     msub = p_met.add_subparsers(dest="metrics_command")
     p_mdiff = msub.add_parser(
         "diff",
+        parents=[_shared_flags(jobs=True, quiet=True)],
         help="compare a metrics report against a baseline and gate "
              "on regressions")
     p_mdiff.add_argument("--baseline", required=True, metavar="PATH",
@@ -735,8 +851,6 @@ def build_parser() -> argparse.ArgumentParser:
     p_mdiff.add_argument("--verbose", action="store_true",
                          help="print improvements and notes, not "
                               "just regressions")
-    p_mdiff.add_argument("--quiet", action="store_true",
-                         help="suppress collection progress lines")
     p_mdiff.set_defaults(fn=cmd_metrics)
 
     p_faults = sub.add_parser(
@@ -747,7 +861,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="list the mutation classes")
     p_flist.set_defaults(fn=cmd_faults)
     p_frun = fsub.add_parser(
-        "run", help="inject faults and assert the cured runs trap")
+        "run",
+        parents=[_shared_flags(jobs=True, quiet=True,
+                               json_path=True)],
+        help="inject faults and assert the cured runs trap")
     p_frun.add_argument("--seed", type=int, default=1337,
                         help="campaign seed (same seed, same report)")
     p_frun.add_argument("--campaign", default="smoke",
@@ -759,19 +876,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_frun.add_argument("--classes", default=None,
                         help="comma list of mutation classes "
                              "(default: all)")
-    p_frun.add_argument("--json", default=None, metavar="PATH",
-                        help="write the JSON report here")
     p_frun.add_argument("--scale", type=int, default=None)
     p_frun.add_argument("--optimize", choices=OPTIMIZE_LEVELS,
                         default=None, metavar="LEVEL",
                         help="check-elimination level of the cured "
                              "side (none, local, flow)")
-    p_frun.add_argument("--quiet", action="store_true",
-                        help="suppress per-variant progress lines")
     p_frun.set_defaults(fn=cmd_faults)
     p_flint = fsub.add_parser(
-        "lint", help="validate repro lint against the campaign's "
-                     "variants (static precision/recall)")
+        "lint",
+        parents=[_shared_flags(jobs=True, quiet=True,
+                               json_path=True)],
+        help="validate repro lint against the campaign's "
+             "variants (static precision/recall)")
     p_flint.add_argument("--seed", type=int, default=1,
                          help="campaign seed")
     p_flint.add_argument("--workloads", default=None,
@@ -786,10 +902,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_flint.add_argument("--optimize", choices=OPTIMIZE_LEVELS,
                          default=None, metavar="LEVEL")
     p_flint.add_argument("--scale", type=int, default=None)
-    p_flint.add_argument("--json", default=None, metavar="PATH",
-                         help="write the JSON report here")
-    p_flint.add_argument("--quiet", action="store_true")
     p_flint.set_defaults(fn=cmd_faults)
+
+    p_cache = sub.add_parser(
+        "cache", help="the content-addressed cure cache")
+    csub = p_cache.add_subparsers(dest="cache_command",
+                                  required=True)
+    p_cstats = csub.add_parser(
+        "stats",
+        parents=[_shared_flags(json_path=True)],
+        help="hit/miss/store counters and entry census")
+    p_cstats.set_defaults(fn=cmd_cache)
+    p_cclear = csub.add_parser(
+        "clear", help="delete every entry and reset the counters")
+    p_cclear.set_defaults(fn=cmd_cache)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        parents=[_shared_flags(jobs=True, quiet=True,
+                               json_path=True)],
+        help="run the workload x engine x optimize matrix sharded "
+             "across cores, one deterministic artifact per cell")
+    p_sweep.add_argument("--targets",
+                         default="metrics,lint,campaign",
+                         metavar="LIST",
+                         help="comma list of metrics, lint, "
+                              "campaign, analyze "
+                              "(default: metrics,lint,campaign)")
+    p_sweep.add_argument("--engines", default="closures",
+                         metavar="LIST",
+                         help="comma list of execution engines "
+                              "(metrics cells; default: closures)")
+    p_sweep.add_argument("--optimize", default="flow",
+                         metavar="LIST",
+                         help="comma list of check-elimination "
+                              "levels (default: flow)")
+    p_sweep.add_argument("--out", default=None, metavar="DIR",
+                         help="write per-cell JSON artifacts into "
+                              "this directory")
+    p_sweep.add_argument("--seed", type=int, default=1337,
+                         help="campaign seed for campaign cells")
+    p_sweep.add_argument("--campaign", default="smoke",
+                         choices=("smoke", "full"),
+                         help="campaign preset for campaign cells")
+    p_sweep.add_argument("--scale", type=int, default=None,
+                         help="workload problem size")
+    p_sweep.set_defaults(fn=cmd_sweep)
     return parser
 
 

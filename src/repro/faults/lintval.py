@@ -190,6 +190,37 @@ def lint_variant(w: Workload, mclass: str, seed: int, *,
                        false_positives=fps)
 
 
+def validate_workload(w: Workload, classes: Iterable[str],
+                      seed: int = 1, *, optimize: str = "flow",
+                      scale: Optional[int] = None
+                      ) -> list[VariantLint]:
+    """Lint every class variant of one workload — the unit of work a
+    sharded sweep distributes across processes."""
+    return [lint_variant(w, m, seed, optimize=optimize, scale=scale)
+            for m in classes]
+
+
+def aggregate_validation(seed: int, optimize: str,
+                         classes: Iterable[str],
+                         variants: Iterable[VariantLint]
+                         ) -> LintValidation:
+    """Fold per-variant outcomes into the per-class E13 rows.  Pure
+    aggregation: serial and sharded validations that produce the same
+    variants produce byte-identical reports."""
+    cs = list(classes)
+    val = LintValidation(seed=seed, optimize=optimize)
+    rows = {m: ClassLintRow(mclass=m, expected=STATIC_CLASSES.get(m))
+            for m in cs}
+    for v in variants:
+        val.variants.append(v)
+        row = rows[v.mclass]
+        row.variants += 1
+        row.hits += int(v.hit)
+        row.false_positives += v.false_positives
+    val.rows = [rows[m] for m in cs]
+    return val
+
+
 def run_lint_validation(seed: int = 1, *,
                         workloads: Optional[Iterable[Workload]] = None,
                         classes: Optional[Iterable[str]] = None,
@@ -201,24 +232,16 @@ def run_lint_validation(seed: int = 1, *,
     ws = list(workloads) if workloads is not None \
         else list(all_workloads())
     cs = list(classes) if classes is not None else list(MUTATORS)
-    val = LintValidation(seed=seed, optimize=optimize)
-    rows = {m: ClassLintRow(mclass=m, expected=STATIC_CLASSES.get(m))
-            for m in cs}
+    collected: list[VariantLint] = []
     for w in ws:
-        for m in cs:
-            v = lint_variant(w, m, seed, optimize=optimize,
-                             scale=scale)
-            val.variants.append(v)
-            row = rows[m]
-            row.variants += 1
-            row.hits += int(v.hit)
-            row.false_positives += v.false_positives
+        for v in validate_workload(w, cs, seed, optimize=optimize,
+                                   scale=scale):
+            collected.append(v)
             if progress is not None:
                 mark = "+" if v.hit else ("." if v.expected is None
                                           else "MISS")
-                progress(f"lint {w.name}+{m}: {mark} "
+                progress(f"lint {w.name}+{v.mclass}: {mark} "
                          f"{','.join(v.graft_codes) or '-'}"
                          + (f" FP={v.false_positives}"
                             if v.false_positives else ""))
-    val.rows = [rows[m] for m in cs]
-    return val
+    return aggregate_validation(seed, optimize, cs, collected)

@@ -12,4 +12,13 @@ from repro.runtime.cost import CostModel
 from repro.runtime.memory import Home, Memory, PtrMeta
 from repro.runtime.values import NULL, BlobVal, PtrVal
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "BoundsError", "CompatibilityError", "DanglingPointerError",
+    "InterpreterLimitError", "LinkError", "MemorySafetyError",
+    "NullDereferenceError", "ProgramAbort", "ProgramExit",
+    "RttiCastError", "SegmentationFault", "StackEscapeError",
+    "UninitializedError", "WildTagError",
+    "CostModel",
+    "Home", "Memory", "PtrMeta",
+    "NULL", "BlobVal", "PtrVal",
+]

@@ -25,11 +25,10 @@ reproducing the compatibility story of Section 4.2.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
-from repro.runtime.checks import (BoundsError, MemorySafetyError,
-                                  NullDereferenceError, ProgramAbort,
-                                  ProgramExit)
+from repro.runtime.checks import (BoundsError, NullDereferenceError,
+                                  ProgramAbort, ProgramExit)
 from repro.runtime.memory import PtrMeta
 from repro.runtime.values import NULL, PtrVal
 

@@ -1,0 +1,24 @@
+"""Multiprocess sharded sweeps over the workload matrix.
+
+:mod:`.runner` is the mechanism — picklable per-workload task
+functions and a :class:`~concurrent.futures.ProcessPoolExecutor` pool
+whose results merge in submission order.  :mod:`.drivers` is the
+policy — one ``sharded_*`` driver per CLI sweep (metrics, lint,
+campaign, analyze, lint validation) plus the ``repro sweep`` matrix
+driver, each byte-identical to its serial counterpart by
+construction.  Shards share the content-addressed cure cache
+(:mod:`repro.cache`), so the matrix pays each parse/cure once.
+"""
+
+from repro.sweep.drivers import (SweepArtifact, SweepSummary,
+                                 run_sweep, sharded_analyze,
+                                 sharded_campaign, sharded_lint,
+                                 sharded_lintval, sharded_metrics)
+from repro.sweep.runner import resolve_jobs, run_sharded, run_task
+
+__all__ = [
+    "SweepArtifact", "SweepSummary", "run_sweep",
+    "sharded_analyze", "sharded_campaign", "sharded_lint",
+    "sharded_lintval", "sharded_metrics",
+    "resolve_jobs", "run_sharded", "run_task",
+]

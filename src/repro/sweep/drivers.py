@@ -1,0 +1,358 @@
+"""Sharded drivers for every sweep the CLI runs, plus the
+``repro sweep`` matrix driver.
+
+Each ``sharded_*`` function is a drop-in replacement for its serial
+counterpart: with ``jobs`` ≤ 1 it *calls* the serial code, and with
+more jobs it distributes one task per workload across the pool and
+merges the per-shard results in the serial path's iteration order —
+so the serialized output is byte-identical either way (the property
+the CI determinism step ``cmp``'s).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.sweep.runner import resolve_jobs, run_sharded
+
+Progress = Optional[Callable[[str], None]]
+
+
+def _fan_out(progress: Progress, fmt: Callable) -> Optional[Callable]:
+    if progress is None:
+        return None
+    return lambda kind, kwargs, result: progress(fmt(kwargs, result))
+
+
+# -- per-command drivers -----------------------------------------------------
+
+
+def sharded_metrics(workloads: Sequence, *, engine: str = "closures",
+                    optimize: Optional[str] = None,
+                    scale: Optional[int] = None,
+                    timing: bool = False, provenance: bool = False,
+                    temporal: bool = False,
+                    trace: Optional[list] = None,
+                    jobs=None, progress: Progress = None):
+    """A :class:`~repro.obs.metrics.MetricsReport` over ``workloads``,
+    sharded one workload per task.  Chrome-trace collection needs one
+    process-wide tracer, so ``trace`` forces the serial path."""
+    from repro.obs.metrics import MetricsReport, collect_metrics
+    n = resolve_jobs(jobs)
+    if n <= 1 or trace is not None or len(workloads) <= 1:
+        return collect_metrics(
+            workloads, engine=engine, optimize=optimize, scale=scale,
+            timing=timing, provenance=provenance, temporal=temporal,
+            trace=trace, progress=progress)
+    ordered = sorted(workloads, key=lambda w: w.name)
+    tasks = [("metrics", dict(name=w.name, engine=engine,
+                              optimize=optimize, scale=scale,
+                              timing=timing, provenance=provenance,
+                              temporal=temporal))
+             for w in ordered]
+    results = run_sharded(tasks, n, _fan_out(
+        progress, lambda kw, wm: (f"{wm.name:>18}  ratio "
+                                  f"{wm.ccured_ratio:5.2f}x  "
+                                  f"checks {wm.checks_executed}")))
+    report = MetricsReport(
+        engine=engine,
+        optimize=optimize if optimize is not None else "flow",
+        scale=scale)
+    report.workloads = results
+    return report
+
+
+def sharded_lint(workloads: Sequence, *, optimize: str = "flow",
+                 scale: Optional[int] = None, jobs=None,
+                 progress: Progress = None) -> list:
+    """Per-workload :class:`LintReport`s in input order."""
+    n = resolve_jobs(jobs)
+    if n <= 1 or len(workloads) <= 1:
+        from repro.analysis import lint_workload
+        reports = []
+        for w in workloads:
+            if progress is not None:
+                progress(f"linting {w.name}...")
+            reports.append(lint_workload(w, optimize=optimize,
+                                         scale=scale))
+        return reports
+    tasks = [("lint", dict(name=w.name, optimize=optimize,
+                           scale=scale)) for w in workloads]
+    return run_sharded(tasks, n, _fan_out(
+        progress, lambda kw, r: f"linted {kw['name']}"))
+
+
+def sharded_campaign(seed: int, campaign: str = "smoke", *,
+                     workloads: Optional[Sequence[str]] = None,
+                     classes: Optional[Sequence[str]] = None,
+                     scale: Optional[int] = None,
+                     optimize: Optional[str] = None,
+                     jobs=None, progress: Progress = None):
+    """A :class:`CampaignReport`, sharded one workload per task (every
+    mutation class of that workload runs in its shard).  Selection
+    errors surface before any worker starts, like the serial path."""
+    from repro.faults.campaign import CAMPAIGNS, run_campaign
+    from repro.faults.mutators import MUTATORS
+    from repro.workloads import all_workloads
+    n = resolve_jobs(jobs)
+    if n <= 1:
+        return run_campaign(seed, campaign, workloads=workloads,
+                            classes=classes, scale=scale,
+                            optimize=optimize, progress=progress)
+    if campaign not in CAMPAIGNS:
+        raise KeyError(f"unknown campaign {campaign!r} "
+                       f"(known: {', '.join(CAMPAIGNS)})")
+    if workloads is not None:
+        names: Sequence[str] = list(workloads)
+    else:
+        preset = CAMPAIGNS[campaign]
+        names = (preset if preset is not None
+                 else tuple(w.name for w in all_workloads()))
+    mclasses = tuple(classes) if classes is not None \
+        else tuple(MUTATORS)
+    for m in mclasses:
+        if m not in MUTATORS:
+            raise KeyError(f"unknown mutation class {m!r}")
+    from repro.faults.campaign import CampaignReport
+    from repro.workloads import get
+    for name in names:
+        get(name)                      # KeyError before the pool spins
+    tasks = [("campaign", dict(name=name, seed=seed,
+                               campaign=campaign,
+                               classes=list(mclasses), scale=scale,
+                               optimize=optimize))
+             for name in names]
+
+    def _note(kind, kwargs, variants):
+        if progress is None:
+            return
+        caught = sum(1 for v in variants if v.caught)
+        progress(f"{kwargs['name']:>18} {caught}/{len(variants)} "
+                 "caught")
+
+    results = run_sharded(tasks, n, _note if progress else None)
+    report = CampaignReport(seed=seed, campaign=campaign, scale=scale,
+                            classes=mclasses, optimize=optimize)
+    for variants in results:
+        report.variants.extend(variants)
+    return report
+
+
+def sharded_analyze(workloads: Sequence, *,
+                    scale: Optional[int] = None, jobs=None,
+                    progress: Progress = None) -> list[dict]:
+    """Per-workload ``repro analyze`` stats dicts in input order."""
+    n = resolve_jobs(jobs)
+    if n <= 1 or len(workloads) <= 1:
+        from repro.analysis import analyze_workload
+        out = []
+        for w in workloads:
+            out.append(analyze_workload(w, scale=scale))
+            if progress is not None:
+                progress(f"analyzed {w.name}")
+        return out
+    tasks = [("analyze", dict(name=w.name, scale=scale))
+             for w in workloads]
+    return run_sharded(tasks, n, _fan_out(
+        progress, lambda kw, r: f"analyzed {kw['name']}"))
+
+
+def sharded_lintval(seed: int = 1, *,
+                    workloads: Optional[Sequence] = None,
+                    classes: Optional[Sequence[str]] = None,
+                    optimize: str = "flow",
+                    scale: Optional[int] = None, jobs=None,
+                    progress: Progress = None):
+    """The lint-validation differential, sharded per workload."""
+    from repro.faults.lintval import (aggregate_validation,
+                                      run_lint_validation)
+    from repro.faults.mutators import MUTATORS
+    from repro.workloads import all_workloads
+    n = resolve_jobs(jobs)
+    if n <= 1:
+        return run_lint_validation(
+            seed, workloads=workloads, classes=classes,
+            optimize=optimize, scale=scale, progress=progress)
+    ws = list(workloads) if workloads is not None \
+        else list(all_workloads())
+    cs = list(classes) if classes is not None else list(MUTATORS)
+    tasks = [("lintval", dict(name=w.name, classes=cs, seed=seed,
+                              optimize=optimize, scale=scale))
+             for w in ws]
+
+    def _note(kind, kwargs, variants):
+        if progress is None:
+            return
+        hits = sum(1 for v in variants if v.hit)
+        progress(f"lintval {kwargs['name']}: {hits} hits")
+
+    results = run_sharded(tasks, n, _note if progress else None)
+    collected = [v for variants in results for v in variants]
+    return aggregate_validation(seed, optimize, cs, collected)
+
+
+# -- the full-matrix driver (`repro sweep`) ----------------------------------
+
+
+@dataclass
+class SweepArtifact:
+    """One artifact of a matrix sweep (one output file)."""
+
+    name: str                # e.g. "metrics-closures-flow"
+    kind: str                # metrics | lint | campaign | analyze
+    seconds: float
+    ok: bool
+    detail: str
+    path: Optional[str] = None
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "kind": self.kind,
+                "seconds": round(self.seconds, 3), "ok": self.ok,
+                "detail": self.detail, "path": self.path}
+
+
+@dataclass
+class SweepSummary:
+    """Everything ``repro sweep`` ran, plus cache traffic."""
+
+    jobs: int
+    artifacts: list[SweepArtifact] = field(default_factory=list)
+    cache: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(a.ok for a in self.artifacts)
+
+    def to_json(self) -> dict:
+        return {"jobs": self.jobs, "ok": self.ok,
+                "artifacts": [a.to_json() for a in self.artifacts],
+                "cache": self.cache}
+
+    def render(self) -> str:
+        lines = [f"sweep: {len(self.artifacts)} artifacts, "
+                 f"jobs={self.jobs}, "
+                 f"{'ok' if self.ok else 'FAILURES'}"]
+        width = max((len(a.name) for a in self.artifacts),
+                    default=4)
+        for a in self.artifacts:
+            mark = "ok " if a.ok else "FAIL"
+            lines.append(f"  {a.name:<{width}}  {mark} "
+                         f"{a.seconds:7.2f}s  {a.detail}")
+        if self.cache is not None:
+            c = self.cache
+            lines.append(f"  cure cache: {c['hits']} hits, "
+                         f"{c['misses']} misses, "
+                         f"{c['stores']} stores this sweep")
+        return "\n".join(lines)
+
+
+def run_sweep(*, targets: Sequence[str] = ("metrics", "lint",
+                                           "campaign"),
+              engines: Sequence[str] = ("closures",),
+              levels: Sequence[Optional[str]] = ("flow",),
+              jobs=None, out_dir: Optional[str] = None,
+              seed: int = 1337, campaign: str = "smoke",
+              scale: Optional[int] = None,
+              progress: Progress = None) -> SweepSummary:
+    """Run the workload × engine × optimize matrix for the selected
+    targets, sharding every sweep across ``jobs`` workers, and write
+    one deterministic JSON artifact per matrix cell."""
+    import json as _json
+
+    from repro.analysis import reports_json
+    from repro.cache import get_cache
+    from repro.faults.report import report_to_json
+    from repro.obs.serialize import stable_dumps
+    from repro.workloads import all_workloads
+
+    n = resolve_jobs(jobs)
+    ws = list(all_workloads())
+    summary = SweepSummary(jobs=n)
+    # Cache traffic is measured through the persistent (cross-
+    # process) counters so shard traffic counts under jobs > 1.
+    disk = get_cache()
+    base = disk._read_counters()
+
+    def emit(name: str, text: str) -> Optional[str]:
+        if out_dir is None:
+            return None
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, name + ".json")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    for target in targets:
+        if target == "metrics":
+            for engine in engines:
+                for level in levels:
+                    name = f"metrics-{engine}-{level or 'flow'}"
+                    t0 = time.perf_counter()
+                    report = sharded_metrics(
+                        ws, engine=engine, optimize=level,
+                        scale=scale, jobs=n)
+                    dt = time.perf_counter() - t0
+                    path = emit(name,
+                                stable_dumps(report.to_json()))
+                    summary.artifacts.append(SweepArtifact(
+                        name=name, kind="metrics", seconds=dt,
+                        ok=True,
+                        detail=f"{len(report.workloads)} workloads",
+                        path=path))
+                    note(f"{name}: {dt:.2f}s")
+        elif target == "lint":
+            for level in levels:
+                name = f"lint-{level or 'flow'}"
+                t0 = time.perf_counter()
+                reports = sharded_lint(ws, optimize=level or "flow",
+                                       scale=scale, jobs=n)
+                dt = time.perf_counter() - t0
+                findings = sum(len(r.diagnostics) for r in reports)
+                path = emit(name, reports_json(reports))
+                summary.artifacts.append(SweepArtifact(
+                    name=name, kind="lint", seconds=dt, ok=True,
+                    detail=f"{findings} findings", path=path))
+                note(f"{name}: {dt:.2f}s")
+        elif target == "campaign":
+            for level in levels:
+                name = f"faults-{campaign}-{level or 'flow'}"
+                t0 = time.perf_counter()
+                report = sharded_campaign(
+                    seed, campaign, scale=scale, optimize=level,
+                    jobs=n)
+                dt = time.perf_counter() - t0
+                path = emit(name, report_to_json(report))
+                summary.artifacts.append(SweepArtifact(
+                    name=name, kind="campaign", seconds=dt,
+                    ok=report.ok,
+                    detail=(f"{report.caught}/{report.injected} "
+                            "caught"),
+                    path=path))
+                note(f"{name}: {dt:.2f}s")
+        elif target == "analyze":
+            name = "analyze"
+            t0 = time.perf_counter()
+            stats = sharded_analyze(ws, scale=scale, jobs=n)
+            dt = time.perf_counter() - t0
+            text = _json.dumps(stats, indent=2,
+                               sort_keys=True) + "\n"
+            path = emit(name, text)
+            summary.artifacts.append(SweepArtifact(
+                name=name, kind="analyze", seconds=dt, ok=True,
+                detail=f"{len(stats)} workloads", path=path))
+            note(f"{name}: {dt:.2f}s")
+        else:
+            raise KeyError(f"unknown sweep target {target!r} (known:"
+                           " metrics, lint, campaign, analyze)")
+
+    after = disk._read_counters()
+    summary.cache = {k: after.get(k, 0) - base.get(k, 0)
+                     for k in ("hits", "misses", "stores")}
+    return summary

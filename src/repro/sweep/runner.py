@@ -1,0 +1,163 @@
+"""The multiprocess shard pool: picklable tasks, ordered results.
+
+A sweep is a list of ``(kind, kwargs)`` tasks — one per workload cell
+of the workload × engine × optimize matrix — dispatched to a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Everything about the
+machinery is chosen for determinism:
+
+* task functions are module-level (picklable under every start
+  method) and take only plain data, so a shard re-runs identically in
+  any process;
+* results land in a list indexed by submission order, so the merge
+  never sees completion order — a sharded sweep's serialized output is
+  byte-identical to the serial path's;
+* every shard shares the content-addressed cure cache
+  (:mod:`repro.cache`), so N workers curing the same 27 workloads pay
+  each parse/cure once across the whole pool.
+
+``jobs <= 1`` bypasses the pool entirely and runs the same task
+functions inline — the serial path and the sharded path are the same
+code by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Optional, Sequence, Union
+
+Task = tuple[str, dict]
+
+
+def resolve_jobs(jobs: Union[int, str, None]) -> int:
+    """Normalize a ``--jobs`` value: ``None`` → 1 (serial),
+    ``"auto"``/0 → every core, numeric strings pass through."""
+    if jobs is None:
+        return 1
+    if isinstance(jobs, str):
+        s = jobs.strip().lower()
+        if s in ("auto", ""):
+            jobs = 0
+        else:
+            jobs = int(s)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+# -- shard bodies ------------------------------------------------------------
+#
+# One function per sweep kind.  Each takes plain data (workload names,
+# option scalars), resolves it inside the worker, and returns picklable
+# results; the parent merges them in submission order.
+
+
+def _task_metrics(name: str, engine: str, optimize: Optional[str],
+                  scale: Optional[int], timing: bool,
+                  provenance: bool, temporal: bool) -> Any:
+    from repro.obs.metrics import collect_workload_metrics
+    from repro.workloads import get
+    return collect_workload_metrics(
+        get(name), engine=engine, optimize=optimize, scale=scale,
+        timing=timing, provenance=provenance, temporal=temporal)
+
+
+def _task_lint(name: str, optimize: str,
+               scale: Optional[int]) -> Any:
+    from repro.analysis import lint_workload
+    from repro.workloads import get
+    return lint_workload(get(name), optimize=optimize, scale=scale)
+
+
+def _task_campaign(name: str, seed: int, campaign: str,
+                   classes: Optional[Sequence[str]],
+                   scale: Optional[int],
+                   optimize: Optional[str]) -> Any:
+    from repro.faults.campaign import run_campaign
+    report = run_campaign(seed, campaign, workloads=[name],
+                          classes=classes, scale=scale,
+                          optimize=optimize)
+    return report.variants
+
+
+def _task_analyze(name: str, scale: Optional[int]) -> Any:
+    from repro.analysis import analyze_workload
+    from repro.workloads import get
+    return analyze_workload(get(name), scale=scale)
+
+
+def _task_lintval(name: str, classes: Sequence[str], seed: int,
+                  optimize: str, scale: Optional[int]) -> Any:
+    from repro.faults.lintval import validate_workload
+    from repro.workloads import get
+    return validate_workload(get(name), classes, seed,
+                             optimize=optimize, scale=scale)
+
+
+_TASKS: dict[str, Callable[..., Any]] = {
+    "metrics": _task_metrics,
+    "lint": _task_lint,
+    "campaign": _task_campaign,
+    "analyze": _task_analyze,
+    "lintval": _task_lintval,
+}
+
+
+def run_task(kind: str, kwargs: dict) -> Any:
+    """Execute one shard (also the pool's remote entry point)."""
+    return _TASKS[kind](**kwargs)
+
+
+def _mp_context():
+    """Prefer ``fork`` (cheap workers that inherit warm in-process
+    caches); fall back to ``spawn`` where fork is unavailable.  The
+    start method can never affect results — shards return pure data."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def _ensure_child_path() -> None:
+    """Make sure spawned workers can import ``repro`` even when the
+    parent got it from a bare ``sys.path`` entry (pytest, editors)."""
+    import repro
+    src = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    parts = existing.split(os.pathsep) if existing else []
+    if src not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([src] + parts)
+
+
+def run_sharded(tasks: Sequence[Task], jobs: Union[int, str, None],
+                progress: Optional[Callable[[str, dict, Any], None]]
+                = None) -> list:
+    """Run every task, ``jobs`` at a time, returning results in task
+    order (never completion order).  A shard that raises aborts the
+    sweep with the original exception, matching the serial path's
+    failure semantics; ``progress`` fires per completed shard."""
+    if not tasks:
+        return []
+    n = min(resolve_jobs(jobs), len(tasks))
+    if n <= 1:
+        out = []
+        for kind, kwargs in tasks:
+            result = run_task(kind, kwargs)
+            if progress is not None:
+                progress(kind, kwargs, result)
+            out.append(result)
+        return out
+    _ensure_child_path()
+    results: list = [None] * len(tasks)
+    with ProcessPoolExecutor(max_workers=n,
+                             mp_context=_mp_context()) as pool:
+        futures = {pool.submit(run_task, kind, kwargs): i
+                   for i, (kind, kwargs) in enumerate(tasks)}
+        for fut in as_completed(futures):
+            i = futures[fut]
+            results[i] = fut.result()
+            if progress is not None:
+                kind, kwargs = tasks[i]
+                progress(kind, kwargs, results[i])
+    return results

@@ -3,6 +3,18 @@
 import pytest
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_cure_cache(tmp_path_factory):
+    """Point the on-disk cure cache at a per-session temp directory,
+    so tests never read (or pollute) the developer's warm cache and
+    every run starts from deterministic cold-cache counters."""
+    import os
+    if "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = str(
+            tmp_path_factory.mktemp("cure-cache"))
+    yield
+
+
 @pytest.fixture
 def figure_circle_src() -> str:
     """The paper's Section 3 running example."""

@@ -1,0 +1,170 @@
+"""Sharded sweeps: byte-identity with the serial path, under a real
+two-worker process pool.
+
+Every assertion here compares serialized artifacts with ``==`` on the
+full text — the same check CI's determinism step performs with
+``cmp`` — because the sweep's contract is not "equivalent results"
+but "the same bytes".
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.serialize import stable_dumps
+from repro.sweep import (resolve_jobs, run_sharded, run_sweep,
+                         sharded_analyze, sharded_campaign,
+                         sharded_lint, sharded_lintval,
+                         sharded_metrics)
+from repro.workloads import all_workloads, get
+
+SOME = sorted(all_workloads(), key=lambda w: w.name)[:4]
+
+
+# -- resolve_jobs ------------------------------------------------------------
+
+
+def test_resolve_jobs_values():
+    import os
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs("5") == 5
+    cores = os.cpu_count() or 1
+    assert resolve_jobs("auto") == cores
+    assert resolve_jobs(0) == cores
+    assert resolve_jobs(-2) == cores
+
+
+def test_run_sharded_preserves_task_order():
+    tasks = [("analyze", {"name": w.name, "scale": None})
+             for w in SOME]
+    serial = run_sharded(tasks, 1)
+    pooled = run_sharded(tasks, 2)
+    assert [r["program"] for r in pooled] \
+        == [r["program"] for r in serial] \
+        == [w.name for w in SOME]
+
+
+def test_run_sharded_propagates_worker_errors():
+    with pytest.raises(KeyError):
+        run_sharded([("analyze", {"name": "no-such", "scale": None}),
+                     ("analyze", {"name": SOME[0].name,
+                                  "scale": None})], 2)
+
+
+# -- per-driver byte-identity (serial vs jobs=2) -----------------------------
+
+
+def test_sharded_metrics_byte_identical():
+    from repro.obs.metrics import collect_metrics
+    serial = stable_dumps(collect_metrics(SOME).to_json())
+    pooled = stable_dumps(sharded_metrics(SOME, jobs=2).to_json())
+    assert pooled == serial
+
+
+def test_sharded_lint_byte_identical():
+    from repro.analysis import lint_workload, reports_json
+    serial = reports_json([lint_workload(w) for w in SOME])
+    pooled = reports_json(sharded_lint(SOME, jobs=2))
+    assert pooled == serial
+
+
+def test_sharded_campaign_byte_identical():
+    from repro.faults.campaign import run_campaign
+    from repro.faults.report import report_to_json
+    names = ["olden_power", "ptrdist_anagram"]
+    serial = report_to_json(run_campaign(
+        11, "smoke", workloads=names, optimize="local"))
+    pooled = report_to_json(sharded_campaign(
+        11, "smoke", workloads=names, optimize="local", jobs=2))
+    assert pooled == serial
+
+
+def test_sharded_campaign_rejects_unknown_selection():
+    with pytest.raises(KeyError):
+        sharded_campaign(1, "no-such-campaign", jobs=2)
+    with pytest.raises(KeyError):
+        sharded_campaign(1, "smoke", classes=["no-such-class"],
+                         jobs=2)
+    with pytest.raises(KeyError):
+        sharded_campaign(1, "smoke", workloads=["no-such-workload"],
+                         jobs=2)
+
+
+def test_sharded_analyze_byte_identical():
+    from repro.analysis import analyze_workload
+    serial = json.dumps([analyze_workload(w) for w in SOME],
+                        indent=2, sort_keys=True)
+    pooled = json.dumps(sharded_analyze(SOME, jobs=2),
+                        indent=2, sort_keys=True)
+    assert pooled == serial
+
+
+def test_sharded_lintval_byte_identical():
+    from repro.faults.lintval import run_lint_validation
+    ws = [get("olden_power"), get("ftpd")]
+    cs = ["null-deref", "double-free"]
+    serial = run_lint_validation(3, workloads=ws, classes=cs).dumps()
+    pooled = sharded_lintval(3, workloads=ws, classes=cs,
+                             jobs=2).dumps()
+    assert pooled == serial
+
+
+# -- the matrix driver -------------------------------------------------------
+
+
+def test_run_sweep_writes_deterministic_artifacts(tmp_path):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    for out, jobs in ((a, 1), (b, 2)):
+        summary = run_sweep(targets=("lint", "campaign"), jobs=jobs,
+                            out_dir=str(out))
+        assert summary.ok
+        assert len(summary.artifacts) == 2
+    for name in ("lint-flow.json", "faults-smoke-flow.json"):
+        assert (a / name).read_bytes() == (b / name).read_bytes()
+
+
+def test_run_sweep_rejects_unknown_target():
+    with pytest.raises(KeyError):
+        run_sweep(targets=("no-such",), jobs=1)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_metrics_jobs_byte_identical(tmp_path, capsys):
+    serial = tmp_path / "serial.json"
+    pooled = tmp_path / "pooled.json"
+    sel = "olden_power,ptrdist_anagram"
+    assert main(["metrics", "--workload", sel, "--quiet",
+                 "--json", str(serial)]) == 0
+    assert main(["metrics", "--workload", sel, "--quiet",
+                 "--jobs", "2", "--json", str(pooled)]) == 0
+    capsys.readouterr()
+    assert pooled.read_bytes() == serial.read_bytes()
+
+
+def test_cli_rejects_invalid_jobs(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["metrics", "--workload", "olden_power",
+              "--jobs", "nope"])
+    assert exc.value.code == 2
+    assert "invalid --jobs" in capsys.readouterr().err
+
+
+def test_cli_sweep_and_cache_stats(tmp_path, capsys):
+    out = tmp_path / "artifacts"
+    assert main(["sweep", "--targets", "lint", "--jobs", "2",
+                 "--quiet", "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "lint-flow" in text
+    assert (out / "lint-flow.json").exists()
+    assert main(["cache", "stats"]) == 0
+    assert "cure cache at" in capsys.readouterr().out
+    assert main(["cache", "stats", "--json", "-"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["enabled"] in (True, False)
+    assert stats["entries"] >= 0
