@@ -11,21 +11,20 @@ visible in review diffs.
 
 import json
 import os
-import time
 
 import pytest
 
-from repro.bench import pristine_cure, pristine_parse
-from repro.interp import Interpreter
+from repro.bench import SUITE, measure_cell
 
 from benchutil import run_once
 
-#: pointer-heavy + arithmetic-heavy representatives at reduced scales:
+#: the pinned trajectory suite (repro.bench.trajectory.SUITE):
+#: pointer-heavy + arithmetic-heavy representatives at reduced scales —
 #: the engine comparison is scale-independent, the tree-engine runs are
 #: not cheap, and spec_compress at scale 3 shares its cure tree with
 #: test_spec_overhead via the harness cache
-WORKLOAD_NAMES = ("spec_compress", "spec_go")
-SCALES = {"spec_compress": 3, "spec_go": 2}
+WORKLOAD_NAMES = tuple(name for name, _scale in SUITE)
+SCALES = dict(SUITE)
 
 _RESULTS: dict[str, dict] = {}
 
@@ -34,22 +33,9 @@ _OUT_PATH = os.path.join(os.path.dirname(__file__), "..",
 
 
 def _measure(w, mode, engine):
-    # interpretation never mutates the IR, so both engines measure on
-    # the shared pristine tree (and share its compiled closures)
-    scale = SCALES.get(w.name)
-    if mode == "cured":
-        cured = pristine_cure(w, scale=scale)
-        ip = Interpreter(cured.prog, cured=cured, stdin=w.stdin,
-                         engine=engine)
-    else:
-        prog = pristine_parse(w, scale)
-        ip = Interpreter(prog, stdin=w.stdin, engine=engine)
-    t0 = time.perf_counter()
-    res = ip.run(list(w.args) or None)
-    dt = time.perf_counter() - t0
-    return {"seconds": round(dt, 4), "steps": res.steps,
-            "cycles": res.cost.cycles, "status": res.status,
-            "steps_per_sec": round(res.steps / dt) if dt else 0}
+    # one measurement cell of the trajectory ledger (`repro bench`
+    # shares this exact code path)
+    return measure_cell(w, mode, engine, SCALES.get(w.name))
 
 
 @pytest.mark.parametrize("name", WORKLOAD_NAMES)

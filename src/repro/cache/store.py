@@ -72,10 +72,21 @@ class CacheStats:
     root: str = ""
     enabled: bool = True
 
+    @property
+    def hit_rate_pct(self) -> Optional[float]:
+        """Hits as a percentage of lookups (hits + misses), or None
+        before any lookup happened — 0% means "all misses", which is
+        a different fact than "never asked"."""
+        lookups = self.hits + self.misses
+        if lookups == 0:
+            return None
+        return round(100.0 * self.hits / lookups, 1)
+
     def to_json(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores,
                 "invalidated": self.invalidated,
+                "hit_rate_pct": self.hit_rate_pct,
                 "entries": self.entries, "bytes": self.bytes,
                 "root": self.root, "enabled": self.enabled}
 

@@ -7,6 +7,17 @@ Usage (also available as ``python -m repro``)::
     python -m repro run prog.c [args...]   # cure then execute
     python -m repro run --raw prog.c       # uncured (hardware) run
     python -m repro bench NAME             # measure one workload
+    python -m repro bench [--quick]        # pinned steps/sec suite,
+                                           # appended to the
+                                           # BENCH_history.jsonl ledger
+    python -m repro bench diff --baseline baselines/bench-baseline.json
+                                           # perf regression gate
+                                           # (counts exact, speedup
+                                           # ratio with slack)
+    python -m repro profile --all-workloads
+                                           # per-phase pipeline
+                                           # breakdown (deterministic
+                                           # counts; --timing for wall)
     python -m repro workloads              # list the benchmark suite
     python -m repro analyze prog.c         # per-function CFG/dataflow
                                            # and check-elimination stats
@@ -32,6 +43,10 @@ Usage (also available as ``python -m repro``)::
     python -m repro sweep --jobs auto --out artifacts/
                                            # the full workload matrix,
                                            # sharded across cores
+    python -m repro sweep --jobs 2 --trace out.json
+                                           # one merged Chrome trace:
+                                           # every worker's spans on
+                                           # real pid/tid lanes
     python -m repro cache stats|clear      # the content-addressed
                                            # cure cache
 
@@ -112,8 +127,8 @@ def _jobs_value(text: str):
 
 
 def _shared_flags(*, jobs: bool = False, quiet: bool = False,
-                  json_path: bool = False,
-                  json_const: bool = False) -> argparse.ArgumentParser:
+                  json_path: bool = False, json_const: bool = False,
+                  progress: bool = False) -> argparse.ArgumentParser:
     """A parent parser carrying the flags every sweep-shaped command
     spells the same way: ``--jobs N|auto``, ``--quiet``, and
     ``--json PATH`` (``json_const`` selects the optional-PATH variant
@@ -127,6 +142,11 @@ def _shared_flags(*, jobs: bool = False, quiet: bool = False,
     if quiet:
         p.add_argument("--quiet", action="store_true",
                        help="suppress progress lines")
+    if progress:
+        p.add_argument("--progress", action="store_true",
+                       help="live '[done/total shards] elapsed' line "
+                            "on stderr (auto-disabled when stderr is "
+                            "not a TTY; --quiet suppresses it)")
     if json_path:
         if json_const:
             p.add_argument("--json", nargs="?", const="-",
@@ -138,6 +158,18 @@ def _shared_flags(*, jobs: bool = False, quiet: bool = False,
                            help="write the JSON report here "
                                 "('-' for stdout)")
     return p
+
+
+def _progress_line(args: argparse.Namespace, total: int):
+    """An active :class:`~repro.sweep.ProgressLine` when
+    ``--progress`` was given (and ``--quiet`` was not), else None.
+    The line itself writes to stderr only and auto-disables when
+    stderr is not a TTY, so it can never contaminate stdout/JSON."""
+    if not getattr(args, "progress", False) \
+            or getattr(args, "quiet", False):
+        return None
+    from repro.sweep import ProgressLine
+    return ProgressLine(total)
 
 
 def _add_cure_flags(p: argparse.ArgumentParser) -> None:
@@ -243,6 +275,52 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    if args.name == "diff":
+        from repro.bench import (diff_bench, load_record,
+                                 render_diff, run_bench)
+        if not args.baseline:
+            print("bench diff: --baseline is required",
+                  file=sys.stderr)
+            return 2
+        try:
+            baseline = load_record(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"bench diff: cannot read baseline "
+                  f"{args.baseline!r}: {exc}", file=sys.stderr)
+            return 2
+        if args.current:
+            current = load_record(args.current)
+        else:
+            current = run_bench(
+                quick=args.quick,
+                progress=(None if args.quiet else
+                          lambda line: print(line,
+                                             file=sys.stderr)))
+        failures = diff_bench(baseline, current,
+                              slack_pct=args.slack)
+        print(render_diff(baseline, current, failures,
+                          slack_pct=args.slack))
+        return 2 if failures else 0
+
+    if args.name is None:
+        # suite mode: run the pinned micro-suite, append one record
+        # to the trajectory ledger
+        from repro.bench import (append_history, render_record,
+                                 run_bench)
+        record = run_bench(
+            quick=args.quick,
+            progress=(None if args.quiet else
+                      lambda line: print(line, file=sys.stderr)))
+        append_history(record, args.history)
+        if args.json:
+            text = json.dumps(record, indent=2, sort_keys=True)
+            _emit_json(text + "\n", args.json, "bench record")
+        print(render_record(record))
+        print(f"record appended to {args.history}", file=sys.stderr)
+        return 0
+
     from repro.bench import run_workload
     from repro.workloads import get
     try:
@@ -321,12 +399,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
                   "(see `python -m repro workloads`)",
                   file=sys.stderr)
             return 2
-        show = not args.quiet and args.format == "text"
-        reports = sharded_lint(
-            selected, optimize=optimize, scale=args.scale,
-            jobs=args.jobs,
-            progress=((lambda line: print(line, file=sys.stderr))
-                      if show else None))
+        pl = _progress_line(args, len(selected))
+        show = not args.quiet and args.format == "text" \
+            and pl is None
+        try:
+            reports = sharded_lint(
+                selected, optimize=optimize, scale=args.scale,
+                jobs=args.jobs,
+                progress=(pl.tick if pl is not None else
+                          (lambda line: print(line,
+                                              file=sys.stderr))
+                          if show else None))
+        finally:
+            if pl is not None:
+                pl.close()
     else:
         if not args.file:
             print("lint: give a FILE, --workload NAME[,NAME...] or "
@@ -411,17 +497,29 @@ def cmd_faults(args: argparse.Namespace) -> int:
     workloads = (args.workloads.split(",") if args.workloads
                  else None)
     classes = args.classes.split(",") if args.classes else None
+    pl = None
+    if getattr(args, "progress", False) and not args.quiet:
+        from repro.faults.campaign import CAMPAIGNS
+        from repro.workloads import all_workloads
+        names = (workloads or CAMPAIGNS.get(args.campaign)
+                 or [w.name for w in all_workloads()])
+        pl = _progress_line(args, len(names))
     try:
         report = sharded_campaign(
             args.seed, args.campaign, workloads=workloads,
             classes=classes, scale=args.scale,
             optimize=args.optimize, jobs=args.jobs,
-            progress=(None if args.quiet
+            progress=(pl.tick if pl is not None else
+                      None if args.quiet
                       else lambda line: print(line,
                                               file=sys.stderr)))
     except KeyError as exc:
+        if pl is not None:
+            pl.close()
         print(exc.args[0], file=sys.stderr)
         return 2
+    if pl is not None:
+        pl.close()
     if args.json:
         _emit_json(report_to_json(report), args.json)
     print(report_to_markdown(report), end="")
@@ -558,13 +656,25 @@ def cmd_metrics(args: argparse.Namespace) -> int:
               "--all-workloads", file=sys.stderr)
         return 2
     trace_records: Optional[list] = [] if args.trace else None
-    report = sharded_metrics(
-        selected, engine=args.engine, optimize=args.optimize,
-        scale=args.scale, timing=args.timing,
-        provenance=args.provenance, temporal=args.temporal,
-        trace=trace_records, jobs=args.jobs,
-        progress=(None if (args.quiet or not args.json) else
-                  lambda line: print(line, file=sys.stderr)))
+    pl = _progress_line(args, len(selected))
+    def _echo(line: str) -> None:
+        print(line, file=sys.stderr)
+
+    if pl is not None:
+        progress = pl.tick
+    elif args.quiet or not args.json:
+        progress = None
+    else:
+        progress = _echo
+    try:
+        report = sharded_metrics(
+            selected, engine=args.engine, optimize=args.optimize,
+            scale=args.scale, timing=args.timing,
+            provenance=args.provenance, temporal=args.temporal,
+            trace=trace_records, jobs=args.jobs, progress=progress)
+    finally:
+        if pl is not None:
+            pl.close()
     if args.trace:
         from repro.obs.tracer import write_chrome_trace
         write_chrome_trace(trace_records or [], args.trace)
@@ -583,6 +693,45 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import (collect_profile, render_profile,
+                           stable_dumps)
+    try:
+        selected = _select_workloads(args.workload,
+                                     args.all_workloads)
+    except KeyError as exc:
+        print(f"unknown workload {exc.args[0]!r} "
+              "(see `python -m repro workloads`)", file=sys.stderr)
+        return 2
+    if not selected:
+        print("profile: give --workload NAME[,NAME...] or "
+              "--all-workloads", file=sys.stderr)
+        return 2
+    trace_records: Optional[list] = [] if args.trace else None
+    pl = _progress_line(args, len(selected))
+    try:
+        report = collect_profile(
+            selected, engine=args.engine, optimize=args.optimize,
+            scale=args.scale, jobs=args.jobs, trace=trace_records,
+            progress=(pl.tick if pl is not None else None))
+    finally:
+        if pl is not None:
+            pl.close()
+    if args.trace:
+        from repro.obs.tracer import write_chrome_trace
+        write_chrome_trace(trace_records or [], args.trace)
+        if args.trace != "-":
+            print(f"chrome trace written to {args.trace}",
+                  file=sys.stderr)
+    if args.json:
+        _emit_json(stable_dumps(
+            report.to_json(include_timing=args.timing)),
+            args.json, "profile")
+    else:
+        print(render_profile(report, include_timing=args.timing))
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.cache import get_cache
     from repro.obs.serialize import stable_dumps
@@ -594,10 +743,20 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
     # cache stats
     stats = disk.stats()
+    session = disk.session
     if args.json:
-        _emit_json(stable_dumps(stats.to_json()), args.json,
-                   "cache stats")
+        payload = stats.to_json()
+        payload["session"] = {
+            "hits": session.hits, "misses": session.misses,
+            "stores": session.stores,
+            "hit_rate_pct": session.hit_rate_pct}
+        _emit_json(stable_dumps(payload), args.json, "cache stats")
         return 0
+
+    def rate(s) -> str:
+        pct = s.hit_rate_pct
+        return "n/a (no lookups)" if pct is None else f"{pct:.1f}%"
+
     state = "enabled" if stats.enabled else "DISABLED (REPRO_CACHE)"
     print(f"cure cache at {stats.root} [{state}]")
     print(f"  entries     {stats.entries:>8}  "
@@ -606,12 +765,15 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(f"  misses      {stats.misses:>8}")
     print(f"  stores      {stats.stores:>8}")
     print(f"  invalidated {stats.invalidated:>8}")
+    print(f"  hit rate    {rate(stats):>8}  (cross-process)")
+    print(f"  session     {rate(session):>8}  (this process: "
+          f"{session.hits} hits / {session.misses} misses)")
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.obs.serialize import stable_dumps
-    from repro.sweep import run_sweep
+    from repro.sweep import count_sweep_shards, run_sweep
     targets = tuple(t.strip() for t in args.targets.split(",")
                     if t.strip())
     engines = tuple(e.strip() for e in args.engines.split(",")
@@ -627,6 +789,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(f"sweep: unknown optimize level {lv!r}",
                   file=sys.stderr)
             return 2
+    trace_records: Optional[list] = [] if args.trace else None
+    pl = _progress_line(args, count_sweep_shards(
+        targets=targets, engines=engines, levels=levels,
+        campaign=args.campaign))
     try:
         summary = run_sweep(
             targets=targets, engines=engines, levels=levels,
@@ -634,10 +800,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             campaign=args.campaign, scale=args.scale,
             progress=(None if args.quiet
                       else lambda line: print(line,
-                                              file=sys.stderr)))
+                                              file=sys.stderr)),
+            shard_progress=(pl.tick if pl is not None else None),
+            trace=trace_records)
     except KeyError as exc:
+        if pl is not None:
+            pl.close()
         print(f"sweep: {exc.args[0]}", file=sys.stderr)
         return 2
+    if pl is not None:
+        pl.close()
+    if args.trace:
+        from repro.obs.tracer import write_chrome_trace
+        write_chrome_trace(trace_records or [], args.trace)
+        if args.trace != "-":
+            print(f"chrome trace written to {args.trace} "
+                  "(load in chrome://tracing or ui.perfetto.dev)",
+                  file=sys.stderr)
     if args.json:
         _emit_json(stable_dumps(summary.to_json()), args.json,
                    "sweep summary")
@@ -684,12 +863,38 @@ def build_parser() -> argparse.ArgumentParser:
                           help="list the benchmark workloads")
     p_wl.set_defaults(fn=cmd_workloads)
 
-    p_bench = sub.add_parser("bench",
-                             help="measure one workload")
-    p_bench.add_argument("name")
+    p_bench = sub.add_parser(
+        "bench",
+        parents=[_shared_flags(quiet=True, json_path=True,
+                               json_const=True)],
+        help="measure one workload; with no NAME, run the pinned "
+             "steps/sec micro-suite and append to the trajectory "
+             "ledger; 'diff' gates against a baseline record")
+    p_bench.add_argument("name", nargs="?", default=None,
+                         help="a workload name, 'diff', or nothing "
+                              "(= run the micro-suite)")
     p_bench.add_argument("--tools", default="ccured,valgrind",
                          help="comma list: ccured,purify,valgrind")
     p_bench.add_argument("--scale", type=int, default=None)
+    p_bench.add_argument("--quick", action="store_true",
+                         help="the CI smoke subset of the suite "
+                              "(one workload, both modes)")
+    p_bench.add_argument("--history", default="BENCH_history.jsonl",
+                         metavar="PATH",
+                         help="the append-only ledger "
+                              "(default: BENCH_history.jsonl)")
+    p_bench.add_argument("--baseline", default=None, metavar="PATH",
+                         help="(diff) the committed baseline record")
+    p_bench.add_argument("--current", default=None, metavar="PATH",
+                         help="(diff) record to gate — a JSON file "
+                              "or the last line of a .jsonl ledger "
+                              "(omitted: measure one now)")
+    p_bench.add_argument("--slack", type=float, default=50.0,
+                         metavar="PCT",
+                         help="(diff) allowed %% drop in the "
+                              "closures-vs-tree speedup ratio "
+                              "(default 50; steps/cycles/status are "
+                              "always exact)")
     _add_engine_flag(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
@@ -713,7 +918,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        parents=[_shared_flags(jobs=True, quiet=True)],
+        parents=[_shared_flags(jobs=True, quiet=True,
+                               progress=True)],
         help="cure-time static diagnostics: sites the must-analysis "
              "proves fail on every path (with blame-chain paths)")
     p_lint.add_argument("file", nargs="?", default=None,
@@ -777,10 +983,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cure_flags(p_exp)
     p_exp.set_defaults(fn=cmd_explain)
 
+    p_prof = sub.add_parser(
+        "profile",
+        parents=[_shared_flags(jobs=True, quiet=True,
+                               json_path=True, json_const=True,
+                               progress=True)],
+        help="per-phase pipeline breakdown (parse, solve, dataflow, "
+             "exec per engine) folded from span captures; counts are "
+             "byte-deterministic, timing opt-in")
+    p_prof.add_argument("--workload", default=None, metavar="NAMES",
+                        help="comma list of workloads to profile")
+    p_prof.add_argument("--all-workloads", action="store_true",
+                        help="profile every benchmark workload")
+    p_prof.add_argument("--scale", type=int, default=None,
+                        help="workload problem size")
+    p_prof.add_argument("--optimize", choices=OPTIMIZE_LEVELS,
+                        default=None, metavar="LEVEL",
+                        help="check-elimination level "
+                             "(default: flow)")
+    p_prof.add_argument("--timing", action="store_true",
+                        help="include wall seconds and cache phases "
+                             "(non-deterministic)")
+    p_prof.add_argument("--trace", default=None, metavar="PATH",
+                        help="also write the captured spans as "
+                             "Chrome trace_event JSON")
+    _add_engine_flag(p_prof)
+    p_prof.set_defaults(fn=cmd_profile)
+
     p_met = sub.add_parser(
         "metrics",
         parents=[_shared_flags(jobs=True, quiet=True,
-                               json_path=True, json_const=True)],
+                               json_path=True, json_const=True,
+                               progress=True)],
         help="pipeline observability: per-phase timings, check-site "
              "histograms, pointer-kind distributions, and regression "
              "diffs")
@@ -863,7 +1097,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_frun = fsub.add_parser(
         "run",
         parents=[_shared_flags(jobs=True, quiet=True,
-                               json_path=True)],
+                               json_path=True, progress=True)],
         help="inject faults and assert the cured runs trap")
     p_frun.add_argument("--seed", type=int, default=1337,
                         help="campaign seed (same seed, same report)")
@@ -920,7 +1154,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser(
         "sweep",
         parents=[_shared_flags(jobs=True, quiet=True,
-                               json_path=True)],
+                               json_path=True, progress=True)],
         help="run the workload x engine x optimize matrix sharded "
              "across cores, one deterministic artifact per cell")
     p_sweep.add_argument("--targets",
@@ -947,6 +1181,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="campaign preset for campaign cells")
     p_sweep.add_argument("--scale", type=int, default=None,
                          help="workload problem size")
+    p_sweep.add_argument("--trace", default=None, metavar="PATH",
+                         help="write one merged Chrome trace of the "
+                              "whole sweep — dispatch spans plus "
+                              "every worker's pipeline and cache "
+                              "spans on real pid/tid lanes")
     p_sweep.set_defaults(fn=cmd_sweep)
     return parser
 

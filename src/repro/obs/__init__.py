@@ -13,7 +13,10 @@ Three layers, importable without pulling the heavy pipeline modules:
   (``repro metrics diff --fail-on-regress``);
 * :mod:`repro.obs.provenance` / :mod:`repro.obs.blame` — the blame
   graph recorded during inference and the explain/forensics layer on
-  top of it (``repro explain``, failure blame chains).
+  top of it (``repro explain``, failure blame chains);
+* :mod:`repro.obs.profile` — the phase profiler: folds span captures
+  (single-process or merged multi-worker) into a deterministic
+  per-phase/per-workload breakdown (``repro profile``).
 """
 
 from repro.obs.blame import (EXPLAIN_SCHEMA, BlameChain, BlameGraph,
@@ -29,10 +32,16 @@ from repro.obs.metrics import (SCHEMA, MetricsReport, SiteStat,
                                collect_metrics,
                                collect_workload_metrics,
                                render_report, site_table)
+from repro.obs.profile import (NONDET_PHASES, PROFILE_SCHEMA,
+                               PhaseStat, ProfileReport,
+                               collect_profile, fold_spans,
+                               phase_key, profile_workload,
+                               render_profile)
 from repro.obs.serialize import (load_json, round_floats,
                                  stable_dumps, write_json)
 from repro.obs.tracer import (TRACER, SpanRecord, Tracer,
                               chrome_trace, phase_seconds_of, span,
+                              spans_from_wire, spans_to_wire,
                               write_chrome_trace)
 
 __all__ = [
@@ -46,6 +55,10 @@ __all__ = [
     "SCHEMA", "MetricsReport", "SiteStat", "WorkloadMetrics",
     "collect_metrics", "collect_workload_metrics", "render_report",
     "site_table",
+    "NONDET_PHASES", "PROFILE_SCHEMA", "PhaseStat", "ProfileReport",
+    "collect_profile", "fold_spans", "phase_key",
+    "profile_workload", "render_profile",
     "load_json", "round_floats", "stable_dumps", "write_json",
     "TRACER", "SpanRecord", "Tracer", "phase_seconds_of", "span",
+    "spans_from_wire", "spans_to_wire",
 ]

@@ -22,10 +22,12 @@ tracer disabled and report only the deterministic counters of
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, Optional, Sequence
 
 
 @dataclass
@@ -37,12 +39,15 @@ class SpanRecord:
     start: float        # seconds since the tracer's epoch
     duration: float     # wall seconds
     attrs: dict[str, Any] = field(default_factory=dict)
+    pid: int = 0        # recording process (0 = unknown/legacy)
+    tid: int = 0        # recording OS thread (0 = unknown/legacy)
 
     def to_json(self) -> dict:
         return {"name": self.name, "depth": self.depth,
                 "start": round(self.start, 6),
                 "duration": round(self.duration, 6),
-                "attrs": dict(self.attrs)}
+                "attrs": dict(self.attrs),
+                "pid": self.pid, "tid": self.tid}
 
 
 class _NullSpan:
@@ -91,7 +96,8 @@ class _LiveSpan:
             t._stack.pop()
         t.records.append(SpanRecord(
             self.name, self.depth, self._t0 - t._epoch,
-            t1 - self._t0, self.attrs))
+            t1 - self._t0, self.attrs, os.getpid(),
+            threading.get_native_id()))
         return False
 
     def set(self, **attrs: Any) -> "_LiveSpan":
@@ -127,6 +133,12 @@ class Tracer:
         self.records = []
         self._stack = []
         self._epoch = time.perf_counter()
+
+    def epoch_wall(self) -> float:
+        """The tracer's epoch as absolute (unix) wall time, computed
+        on demand — the anchor that lets span records captured in a
+        worker process be rebased onto another process's timeline."""
+        return time.time() - (time.perf_counter() - self._epoch)
 
     def phase_seconds(self) -> dict[str, float]:
         """Total wall seconds per span name.  Nested spans count
@@ -178,24 +190,68 @@ def phase_seconds_of(records: list[SpanRecord],
     return out
 
 
+def spans_to_wire(records: Sequence[SpanRecord],
+                  tracer: Optional[Tracer] = None) -> list[dict]:
+    """Serialize span records for shipping across a process boundary.
+
+    Each worker process has its own tracer epoch (an arbitrary
+    ``perf_counter`` origin), so relative ``start`` offsets from two
+    processes do not share a timeline.  The wire format therefore
+    carries *absolute* wall-clock starts; :func:`spans_from_wire`
+    rebases them onto the receiving tracer's epoch."""
+    t = tracer if tracer is not None else TRACER
+    wall0 = t.epoch_wall()
+    return [{"name": r.name, "depth": r.depth,
+             "wall": wall0 + r.start, "duration": r.duration,
+             "attrs": dict(r.attrs), "pid": r.pid, "tid": r.tid}
+            for r in records]
+
+
+def spans_from_wire(wire: Sequence[dict],
+                    epoch_wall: Optional[float] = None
+                    ) -> list[SpanRecord]:
+    """Reconstruct :class:`SpanRecord`\\ s from wire dicts, rebased so
+    ``start`` is relative to ``epoch_wall`` (default: the receiving
+    process's global tracer epoch)."""
+    anchor = (epoch_wall if epoch_wall is not None
+              else TRACER.epoch_wall())
+    return [SpanRecord(w["name"], w["depth"], w["wall"] - anchor,
+                       w["duration"], dict(w.get("attrs") or {}),
+                       int(w.get("pid", 0)), int(w.get("tid", 0)))
+            for w in wire]
+
+
 def chrome_trace(records: list[SpanRecord],
                  process_name: str = "repro") -> dict:
     """Convert span records to the Chrome ``trace_event`` JSON format
     (load the file in ``chrome://tracing`` or https://ui.perfetto.dev).
 
     Each span becomes one complete ("X") event; timestamps and
-    durations are microseconds from the tracer's epoch.  All spans go
-    on one thread — the pipeline is single-threaded, and nesting is
-    reconstructed by the viewer from the enclosing intervals.
-    """
-    events: list[dict] = [
-        {"name": "process_name", "ph": "M", "pid": 1, "tid": 1,
-         "args": {"name": process_name}},
-        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
-         "args": {"name": "pipeline"}},
-    ]
+    durations are microseconds from the tracer's epoch.  Records carry
+    the pid/tid that recorded them, so a merged multi-worker capture
+    (a sharded sweep) renders as one lane per process instead of
+    interleaving on a single row; the exporting process sorts first
+    and is labelled ``process_name``, workers are labelled by pid."""
+    here = os.getpid()
+    lanes = sorted({(r.pid or 1, r.tid or 1) for r in records})
+    pids = sorted({p for p, _ in lanes})
+    # the exporting process leads; workers follow in pid order
+    order = sorted(pids, key=lambda p: (p != here, p))
+    events: list[dict] = []
+    for i, p in enumerate(order):
+        label = (process_name if p == here or len(pids) == 1
+                 else f"{process_name} worker {p}")
+        events.append({"name": "process_name", "ph": "M", "pid": p,
+                       "tid": 1, "args": {"name": label}})
+        events.append({"name": "process_sort_index", "ph": "M",
+                       "pid": p, "tid": 1,
+                       "args": {"sort_index": i}})
+    for p, t in lanes:
+        events.append({"name": "thread_name", "ph": "M", "pid": p,
+                       "tid": t, "args": {"name": "pipeline"}})
     for r in sorted(records, key=lambda r: (r.start, r.depth)):
-        ev: dict = {"name": r.name, "ph": "X", "pid": 1, "tid": 1,
+        ev: dict = {"name": r.name, "ph": "X", "pid": r.pid or 1,
+                    "tid": r.tid or 1,
                     "ts": round(r.start * 1e6, 3),
                     "dur": round(r.duration * 1e6, 3),
                     "cat": "pipeline"}

@@ -11,14 +11,19 @@ construction.  Shards share the content-addressed cure cache
 """
 
 from repro.sweep.drivers import (SweepArtifact, SweepSummary,
-                                 run_sweep, sharded_analyze,
-                                 sharded_campaign, sharded_lint,
-                                 sharded_lintval, sharded_metrics)
-from repro.sweep.runner import resolve_jobs, run_sharded, run_task
+                                 count_sweep_shards, run_sweep,
+                                 sharded_analyze, sharded_campaign,
+                                 sharded_lint, sharded_lintval,
+                                 sharded_metrics)
+from repro.sweep.progress import ProgressLine
+from repro.sweep.runner import (resolve_jobs, run_sharded, run_task,
+                                run_task_traced)
 
 __all__ = [
-    "SweepArtifact", "SweepSummary", "run_sweep",
+    "SweepArtifact", "SweepSummary", "count_sweep_shards",
+    "run_sweep",
     "sharded_analyze", "sharded_campaign", "sharded_lint",
     "sharded_lintval", "sharded_metrics",
-    "resolve_jobs", "run_sharded", "run_task",
+    "ProgressLine",
+    "resolve_jobs", "run_sharded", "run_task", "run_task_traced",
 ]

@@ -38,11 +38,14 @@ def sharded_metrics(workloads: Sequence, *, engine: str = "closures",
                     trace: Optional[list] = None,
                     jobs=None, progress: Progress = None):
     """A :class:`~repro.obs.metrics.MetricsReport` over ``workloads``,
-    sharded one workload per task.  Chrome-trace collection needs one
-    process-wide tracer, so ``trace`` forces the serial path."""
+    sharded one workload per task.  ``trace`` collects the merged span
+    records — under ``jobs > 1`` each worker captures its own spans
+    (:func:`repro.sweep.runner.run_task_traced`) and the parent merges
+    them onto its timeline, so the trace covers every worker pid while
+    the report bytes stay identical to the serial path's."""
     from repro.obs.metrics import MetricsReport, collect_metrics
     n = resolve_jobs(jobs)
-    if n <= 1 or trace is not None or len(workloads) <= 1:
+    if n <= 1 or len(workloads) <= 1:
         return collect_metrics(
             workloads, engine=engine, optimize=optimize, scale=scale,
             timing=timing, provenance=provenance, temporal=temporal,
@@ -56,7 +59,8 @@ def sharded_metrics(workloads: Sequence, *, engine: str = "closures",
     results = run_sharded(tasks, n, _fan_out(
         progress, lambda kw, wm: (f"{wm.name:>18}  ratio "
                                   f"{wm.ccured_ratio:5.2f}x  "
-                                  f"checks {wm.checks_executed}")))
+                                  f"checks {wm.checks_executed}")),
+        span_sink=trace)
     report = MetricsReport(
         engine=engine,
         optimize=optimize if optimize is not None else "flow",
@@ -67,7 +71,8 @@ def sharded_metrics(workloads: Sequence, *, engine: str = "closures",
 
 def sharded_lint(workloads: Sequence, *, optimize: str = "flow",
                  scale: Optional[int] = None, jobs=None,
-                 progress: Progress = None) -> list:
+                 progress: Progress = None,
+                 span_sink: Optional[list] = None) -> list:
     """Per-workload :class:`LintReport`s in input order."""
     n = resolve_jobs(jobs)
     if n <= 1 or len(workloads) <= 1:
@@ -82,7 +87,8 @@ def sharded_lint(workloads: Sequence, *, optimize: str = "flow",
     tasks = [("lint", dict(name=w.name, optimize=optimize,
                            scale=scale)) for w in workloads]
     return run_sharded(tasks, n, _fan_out(
-        progress, lambda kw, r: f"linted {kw['name']}"))
+        progress, lambda kw, r: f"linted {kw['name']}"),
+        span_sink=span_sink)
 
 
 def sharded_campaign(seed: int, campaign: str = "smoke", *,
@@ -90,7 +96,8 @@ def sharded_campaign(seed: int, campaign: str = "smoke", *,
                      classes: Optional[Sequence[str]] = None,
                      scale: Optional[int] = None,
                      optimize: Optional[str] = None,
-                     jobs=None, progress: Progress = None):
+                     jobs=None, progress: Progress = None,
+                     span_sink: Optional[list] = None):
     """A :class:`CampaignReport`, sharded one workload per task (every
     mutation class of that workload runs in its shard).  Selection
     errors surface before any worker starts, like the serial path."""
@@ -133,7 +140,8 @@ def sharded_campaign(seed: int, campaign: str = "smoke", *,
         progress(f"{kwargs['name']:>18} {caught}/{len(variants)} "
                  "caught")
 
-    results = run_sharded(tasks, n, _note if progress else None)
+    results = run_sharded(tasks, n, _note if progress else None,
+                          span_sink=span_sink)
     report = CampaignReport(seed=seed, campaign=campaign, scale=scale,
                             classes=mclasses, optimize=optimize)
     for variants in results:
@@ -143,7 +151,8 @@ def sharded_campaign(seed: int, campaign: str = "smoke", *,
 
 def sharded_analyze(workloads: Sequence, *,
                     scale: Optional[int] = None, jobs=None,
-                    progress: Progress = None) -> list[dict]:
+                    progress: Progress = None,
+                    span_sink: Optional[list] = None) -> list[dict]:
     """Per-workload ``repro analyze`` stats dicts in input order."""
     n = resolve_jobs(jobs)
     if n <= 1 or len(workloads) <= 1:
@@ -157,7 +166,8 @@ def sharded_analyze(workloads: Sequence, *,
     tasks = [("analyze", dict(name=w.name, scale=scale))
              for w in workloads]
     return run_sharded(tasks, n, _fan_out(
-        progress, lambda kw, r: f"analyzed {kw['name']}"))
+        progress, lambda kw, r: f"analyzed {kw['name']}"),
+        span_sink=span_sink)
 
 
 def sharded_lintval(seed: int = 1, *,
@@ -249,6 +259,30 @@ class SweepSummary:
         return "\n".join(lines)
 
 
+def count_sweep_shards(*, targets: Sequence[str],
+                       engines: Sequence[str],
+                       levels: Sequence[Optional[str]],
+                       campaign: str = "smoke") -> int:
+    """How many shard tasks :func:`run_sweep` will dispatch for this
+    selection — the denominator of a live progress line."""
+    from repro.faults.campaign import CAMPAIGNS
+    from repro.workloads import all_workloads
+    n_ws = len(list(all_workloads()))
+    preset = CAMPAIGNS.get(campaign)
+    n_camp = len(preset) if preset is not None else n_ws
+    total = 0
+    for target in targets:
+        if target == "metrics":
+            total += len(engines) * len(levels) * n_ws
+        elif target == "lint":
+            total += len(levels) * n_ws
+        elif target == "campaign":
+            total += len(levels) * n_camp
+        elif target == "analyze":
+            total += n_ws
+    return total
+
+
 def run_sweep(*, targets: Sequence[str] = ("metrics", "lint",
                                            "campaign"),
               engines: Sequence[str] = ("closures",),
@@ -256,16 +290,27 @@ def run_sweep(*, targets: Sequence[str] = ("metrics", "lint",
               jobs=None, out_dir: Optional[str] = None,
               seed: int = 1337, campaign: str = "smoke",
               scale: Optional[int] = None,
-              progress: Progress = None) -> SweepSummary:
+              progress: Progress = None,
+              shard_progress: Progress = None,
+              trace: Optional[list] = None) -> SweepSummary:
     """Run the workload × engine × optimize matrix for the selected
     targets, sharding every sweep across ``jobs`` workers, and write
-    one deterministic JSON artifact per matrix cell."""
+    one deterministic JSON artifact per matrix cell.
+
+    ``shard_progress`` fires once per completed shard (per workload
+    cell) — the hook the CLI's ``--progress`` line hangs off.  With
+    ``trace`` a list, the whole sweep runs under span capture: the
+    parent contributes one ``dispatch`` span per artifact and every
+    worker ships its pipeline spans back (real pid/tid lanes), so one
+    Chrome trace shows dispatch, per-shard parse/cure/exec, and cache
+    hit/miss events across the entire pool."""
     import json as _json
 
     from repro.analysis import reports_json
     from repro.cache import get_cache
     from repro.faults.report import report_to_json
     from repro.obs.serialize import stable_dumps
+    from repro.obs.tracer import TRACER
     from repro.workloads import all_workloads
 
     n = resolve_jobs(jobs)
@@ -289,68 +334,102 @@ def run_sweep(*, targets: Sequence[str] = ("metrics", "lint",
         if progress is not None:
             progress(line)
 
-    for target in targets:
-        if target == "metrics":
-            for engine in engines:
+    def tick(line: str) -> None:
+        if shard_progress is not None:
+            shard_progress(line)
+
+    shard_cb = None if shard_progress is None else tick
+
+    def body() -> None:
+        for target in targets:
+            if target == "metrics":
+                for engine in engines:
+                    for level in levels:
+                        name = f"metrics-{engine}-{level or 'flow'}"
+                        t0 = time.perf_counter()
+                        with TRACER.span("dispatch", artifact=name,
+                                         jobs=n):
+                            report = sharded_metrics(
+                                ws, engine=engine, optimize=level,
+                                scale=scale, jobs=n, trace=trace,
+                                progress=shard_cb)
+                        dt = time.perf_counter() - t0
+                        path = emit(name,
+                                    stable_dumps(report.to_json()))
+                        summary.artifacts.append(SweepArtifact(
+                            name=name, kind="metrics", seconds=dt,
+                            ok=True,
+                            detail=(f"{len(report.workloads)} "
+                                    "workloads"),
+                            path=path))
+                        note(f"{name}: {dt:.2f}s")
+            elif target == "lint":
                 for level in levels:
-                    name = f"metrics-{engine}-{level or 'flow'}"
+                    name = f"lint-{level or 'flow'}"
                     t0 = time.perf_counter()
-                    report = sharded_metrics(
-                        ws, engine=engine, optimize=level,
-                        scale=scale, jobs=n)
+                    with TRACER.span("dispatch", artifact=name,
+                                     jobs=n):
+                        reports = sharded_lint(
+                            ws, optimize=level or "flow",
+                            scale=scale, jobs=n, span_sink=trace,
+                            progress=shard_cb)
                     dt = time.perf_counter() - t0
-                    path = emit(name,
-                                stable_dumps(report.to_json()))
+                    findings = sum(len(r.diagnostics)
+                                   for r in reports)
+                    path = emit(name, reports_json(reports))
                     summary.artifacts.append(SweepArtifact(
-                        name=name, kind="metrics", seconds=dt,
-                        ok=True,
-                        detail=f"{len(report.workloads)} workloads",
+                        name=name, kind="lint", seconds=dt, ok=True,
+                        detail=f"{findings} findings", path=path))
+                    note(f"{name}: {dt:.2f}s")
+            elif target == "campaign":
+                for level in levels:
+                    name = f"faults-{campaign}-{level or 'flow'}"
+                    t0 = time.perf_counter()
+                    with TRACER.span("dispatch", artifact=name,
+                                     jobs=n):
+                        report = sharded_campaign(
+                            seed, campaign, scale=scale,
+                            optimize=level, jobs=n, span_sink=trace,
+                            progress=shard_cb)
+                    dt = time.perf_counter() - t0
+                    path = emit(name, report_to_json(report))
+                    summary.artifacts.append(SweepArtifact(
+                        name=name, kind="campaign", seconds=dt,
+                        ok=report.ok,
+                        detail=(f"{report.caught}/{report.injected} "
+                                "caught"),
                         path=path))
                     note(f"{name}: {dt:.2f}s")
-        elif target == "lint":
-            for level in levels:
-                name = f"lint-{level or 'flow'}"
+            elif target == "analyze":
+                name = "analyze"
                 t0 = time.perf_counter()
-                reports = sharded_lint(ws, optimize=level or "flow",
-                                       scale=scale, jobs=n)
+                with TRACER.span("dispatch", artifact=name, jobs=n):
+                    stats = sharded_analyze(ws, scale=scale, jobs=n,
+                                            span_sink=trace,
+                                            progress=shard_cb)
                 dt = time.perf_counter() - t0
-                findings = sum(len(r.diagnostics) for r in reports)
-                path = emit(name, reports_json(reports))
+                text = _json.dumps(stats, indent=2,
+                                   sort_keys=True) + "\n"
+                path = emit(name, text)
                 summary.artifacts.append(SweepArtifact(
-                    name=name, kind="lint", seconds=dt, ok=True,
-                    detail=f"{findings} findings", path=path))
+                    name=name, kind="analyze", seconds=dt, ok=True,
+                    detail=f"{len(stats)} workloads", path=path))
                 note(f"{name}: {dt:.2f}s")
-        elif target == "campaign":
-            for level in levels:
-                name = f"faults-{campaign}-{level or 'flow'}"
-                t0 = time.perf_counter()
-                report = sharded_campaign(
-                    seed, campaign, scale=scale, optimize=level,
-                    jobs=n)
-                dt = time.perf_counter() - t0
-                path = emit(name, report_to_json(report))
-                summary.artifacts.append(SweepArtifact(
-                    name=name, kind="campaign", seconds=dt,
-                    ok=report.ok,
-                    detail=(f"{report.caught}/{report.injected} "
-                            "caught"),
-                    path=path))
-                note(f"{name}: {dt:.2f}s")
-        elif target == "analyze":
-            name = "analyze"
-            t0 = time.perf_counter()
-            stats = sharded_analyze(ws, scale=scale, jobs=n)
-            dt = time.perf_counter() - t0
-            text = _json.dumps(stats, indent=2,
-                               sort_keys=True) + "\n"
-            path = emit(name, text)
-            summary.artifacts.append(SweepArtifact(
-                name=name, kind="analyze", seconds=dt, ok=True,
-                detail=f"{len(stats)} workloads", path=path))
-            note(f"{name}: {dt:.2f}s")
-        else:
-            raise KeyError(f"unknown sweep target {target!r} (known:"
-                           " metrics, lint, campaign, analyze)")
+            else:
+                raise KeyError(
+                    f"unknown sweep target {target!r} (known:"
+                    " metrics, lint, campaign, analyze)")
+
+    if trace is None:
+        body()
+    else:
+        # Parent-side spans (dispatch, serial-path pipeline work,
+        # cache traffic) record into the capture; worker spans arrive
+        # through the drivers' span sinks, rebased onto the same
+        # tracer epoch — one merged timeline.
+        with TRACER.capture() as parent_records:
+            body()
+        trace.extend(parent_records)
 
     after = disk._read_counters()
     summary.cache = {k: after.get(k, 0) - base.get(k, 0)

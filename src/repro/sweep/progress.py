@@ -1,0 +1,69 @@
+"""A live ``--progress`` line for long sweeps.
+
+One carriage-return-overwritten stderr line — ``[done/total shards]
+elapsed`` — updated per completed shard.  Three rules keep it from
+ever corrupting machine-read output:
+
+* it writes to **stderr only**, never stdout, so piped JSON stays
+  byte-clean (a unit test asserts this);
+* it auto-disables when stderr is not a TTY (CI logs, redirects)
+  unless explicitly forced on — no ``\\r`` garbage in log files;
+* ``--quiet`` (or ``enabled=False``) silences it entirely.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+class ProgressLine:
+    """Counts completed shards onto one overwritten stderr line."""
+
+    def __init__(self, total: int, *,
+                 stream: Optional[TextIO] = None,
+                 enabled: Optional[bool] = None) -> None:
+        self.total = max(0, total)
+        self.done = 0
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", None)
+            enabled = bool(isatty and isatty())
+        self.enabled = enabled
+        self._t0 = time.perf_counter()
+        self._drew = False
+
+    def tick(self, _line: str = "") -> None:
+        """One shard finished (the driver's per-shard callback; the
+        message argument is accepted and ignored so this plugs
+        directly into ``shard_progress``)."""
+        self.done += 1
+        self._draw()
+
+    def _draw(self) -> None:
+        if not self.enabled:
+            return
+        shown = min(self.done, self.total) if self.total \
+            else self.done
+        dt = time.perf_counter() - self._t0
+        line = (f"\r[{shown}/{self.total} shards] "
+                f"{dt:.1f}s elapsed")
+        self.stream.write(f"{line:<40}")
+        self.stream.flush()
+        self._drew = True
+
+    def close(self) -> None:
+        """End the line (newline) so subsequent stderr output starts
+        clean; no-op if nothing was ever drawn."""
+        if self._drew:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._drew = False
+
+    def __enter__(self) -> "ProgressLine":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False

@@ -95,12 +95,21 @@ def _task_lintval(name: str, classes: Sequence[str], seed: int,
                              optimize=optimize, scale=scale)
 
 
+def _task_profile(name: str, engine: str, optimize: Optional[str],
+                  scale: Optional[int]) -> Any:
+    from repro.obs.profile import profile_workload_wire
+    from repro.workloads import get
+    return profile_workload_wire(get(name), engine=engine,
+                                 optimize=optimize, scale=scale)
+
+
 _TASKS: dict[str, Callable[..., Any]] = {
     "metrics": _task_metrics,
     "lint": _task_lint,
     "campaign": _task_campaign,
     "analyze": _task_analyze,
     "lintval": _task_lintval,
+    "profile": _task_profile,
 }
 
 
@@ -109,11 +118,39 @@ def run_task(kind: str, kwargs: dict) -> Any:
     return _TASKS[kind](**kwargs)
 
 
+def run_task_traced(kind: str, kwargs: dict) -> tuple[Any, list]:
+    """Execute one shard under span capture (the pool's remote entry
+    point when the parent is collecting a cross-process trace).
+
+    Every span the shard's pipeline emits — parse, cure, solve,
+    dataflow, exec, cache load/store — is captured and shipped back in
+    wire form (absolute wall-clock starts, real pid/tid), wrapped in
+    one ``shard`` span so the worker's task boundary is visible on the
+    merged timeline.  Tracing happens *around* the task function, so a
+    traced shard returns byte-identical results to an untraced one."""
+    from repro.obs.tracer import TRACER, spans_to_wire
+    with TRACER.capture() as records:
+        with TRACER.span("shard", kind=kind,
+                         name=kwargs.get("name")):
+            result = run_task(kind, kwargs)
+    wire = spans_to_wire(records)
+    name = kwargs.get("name")
+    if name is not None:
+        for w in wire:
+            w["attrs"].setdefault("workload", name)
+    return result, wire
+
+
 def _mp_context():
     """Prefer ``fork`` (cheap workers that inherit warm in-process
     caches); fall back to ``spawn`` where fork is unavailable.  The
-    start method can never affect results — shards return pure data."""
+    start method can never affect results — shards return pure data —
+    so ``REPRO_MP_START=spawn|fork|forkserver`` may force one (tests
+    exercise the spawn path on platforms whose default is fork)."""
     methods = multiprocessing.get_all_start_methods()
+    forced = os.environ.get("REPRO_MP_START", "").strip().lower()
+    if forced in methods:
+        return multiprocessing.get_context(forced)
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
 
@@ -132,32 +169,56 @@ def _ensure_child_path() -> None:
 
 def run_sharded(tasks: Sequence[Task], jobs: Union[int, str, None],
                 progress: Optional[Callable[[str, dict, Any], None]]
-                = None) -> list:
+                = None,
+                span_sink: Optional[list] = None) -> list:
     """Run every task, ``jobs`` at a time, returning results in task
     order (never completion order).  A shard that raises aborts the
     sweep with the original exception, matching the serial path's
-    failure semantics; ``progress`` fires per completed shard."""
+    failure semantics; ``progress`` fires per completed shard.
+
+    With ``span_sink`` a list, every shard runs under span capture
+    (:func:`run_task_traced`) — serial and pooled alike — and the
+    captured records land in the sink in *task order*, rebased onto
+    this process's tracer epoch, so a merged Chrome trace covers every
+    worker with real pid/tid lanes.  Tracing never changes results:
+    the sink only adds observability on the side."""
     if not tasks:
         return []
+    from repro.obs.tracer import TRACER, spans_from_wire
     n = min(resolve_jobs(jobs), len(tasks))
+    anchor = TRACER.epoch_wall() if span_sink is not None else 0.0
     if n <= 1:
         out = []
         for kind, kwargs in tasks:
-            result = run_task(kind, kwargs)
+            if span_sink is not None:
+                result, wire = run_task_traced(kind, kwargs)
+                span_sink.extend(spans_from_wire(wire, anchor))
+            else:
+                result = run_task(kind, kwargs)
             if progress is not None:
                 progress(kind, kwargs, result)
             out.append(result)
         return out
     _ensure_child_path()
     results: list = [None] * len(tasks)
+    wires: list = [None] * len(tasks)
+    entry = run_task if span_sink is None else run_task_traced
     with ProcessPoolExecutor(max_workers=n,
                              mp_context=_mp_context()) as pool:
-        futures = {pool.submit(run_task, kind, kwargs): i
+        futures = {pool.submit(entry, kind, kwargs): i
                    for i, (kind, kwargs) in enumerate(tasks)}
         for fut in as_completed(futures):
             i = futures[fut]
-            results[i] = fut.result()
+            got = fut.result()
+            if span_sink is not None:
+                results[i], wires[i] = got
+            else:
+                results[i] = got
             if progress is not None:
                 kind, kwargs = tasks[i]
                 progress(kind, kwargs, results[i])
+    if span_sink is not None:
+        for wire in wires:
+            if wire:
+                span_sink.extend(spans_from_wire(wire, anchor))
     return results

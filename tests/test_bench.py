@@ -1,5 +1,7 @@
 """Unit tests for the benchmark harness, tables, and cost model."""
 
+import json
+
 import pytest
 
 from repro.bench import (BenchRow, ToolRun, aggregate_census,
@@ -188,3 +190,127 @@ class TestCostModel:
         c.charge_split(3)
         ev = c.all_events()
         assert ev["instr"] == 1 and ev["split"] == 3
+
+
+class TestTrajectory:
+    """PR 10: the benchmark-trajectory ledger and its gate."""
+
+    def _fake_record(self, speedup=4.0, steps=1000):
+        from repro.bench import bench_record
+        cells = {"spec_compress:cured": {
+            "tree": {"seconds": 1.0, "steps": steps, "cycles": 5000,
+                     "status": 0, "steps_per_sec": steps},
+            "closures": {"seconds": 0.25, "steps": steps,
+                         "cycles": 5000, "status": 0,
+                         "steps_per_sec": steps * 4},
+            "speedup": speedup}}
+        return bench_record(cells, suite=(("spec_compress", 3),),
+                            quick=True, unix_ts=1.0)
+
+    def test_record_schema_and_ledger_round_trip(self, tmp_path):
+        from repro.bench import (BENCH_SCHEMA, append_history,
+                                 read_history)
+        path = str(tmp_path / "hist.jsonl")
+        rec = self._fake_record()
+        assert rec["schema"] == BENCH_SCHEMA
+        append_history(rec, path)
+        append_history(self._fake_record(speedup=4.5), path)
+        records = read_history(path)
+        assert len(records) == 2
+        assert records[0] == rec
+        # each line is one compact standalone JSON document
+        lines = open(path).read().splitlines()
+        assert all(json.loads(ln)["schema"] == BENCH_SCHEMA
+                   for ln in lines)
+
+    def test_load_record_takes_last_ledger_line(self, tmp_path):
+        from repro.bench import append_history, load_record
+        path = str(tmp_path / "hist.jsonl")
+        append_history(self._fake_record(speedup=4.0), path)
+        append_history(self._fake_record(speedup=9.9), path)
+        assert load_record(path)["cells"][
+            "spec_compress:cured"]["speedup"] == 9.9
+
+    def test_diff_passes_identical_and_within_slack(self):
+        from repro.bench import diff_bench
+        base = self._fake_record(speedup=4.0)
+        assert diff_bench(base, base) == []
+        # 3.0x against a 4.0x baseline survives 50% slack (floor 2.0)
+        assert diff_bench(base,
+                          self._fake_record(speedup=3.0)) == []
+
+    def test_diff_fails_on_throughput_regression(self):
+        from repro.bench import diff_bench
+        base = self._fake_record(speedup=4.0)
+        fails = diff_bench(base, self._fake_record(speedup=1.5))
+        assert fails and "speedup" in fails[0]
+
+    def test_diff_fails_on_exact_counter_drift(self):
+        from repro.bench import diff_bench
+        base = self._fake_record()
+        drifted = self._fake_record()
+        drifted["cells"]["spec_compress:cured"]["closures"][
+            "steps"] += 1
+        fails = diff_bench(base, drifted)
+        assert any("steps" in f and "drifted" in f for f in fails)
+
+    def test_diff_fails_on_missing_cell(self):
+        from repro.bench import diff_bench
+        base = self._fake_record()
+        shrunk = self._fake_record()
+        shrunk["cells"] = {}
+        assert any("missing" in f for f in diff_bench(base, shrunk))
+
+    def test_render_record_and_diff(self):
+        from repro.bench import diff_bench, render_diff, \
+            render_record
+        rec = self._fake_record()
+        assert "spec_compress:cured" in render_record(rec)
+        bad = self._fake_record(speedup=1.0)
+        fails = diff_bench(rec, bad)
+        text = render_diff(rec, bad, fails, slack_pct=50.0)
+        assert "FAIL" in text
+        ok = render_diff(rec, rec, [], slack_pct=50.0)
+        assert "ok: within thresholds" in ok
+
+    def test_cli_bench_suite_appends_history(self, tmp_path,
+                                             capsys):
+        from repro.cli import main
+        hist = str(tmp_path / "h.jsonl")
+        assert main(["bench", "--quick", "--history", hist,
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert len(open(hist).read().splitlines()) == 1
+        assert main(["bench", "--quick", "--history", hist,
+                     "--quiet"]) == 0
+        assert len(open(hist).read().splitlines()) == 2
+
+    def test_cli_bench_diff_gates(self, tmp_path, capsys):
+        from repro.cli import main
+        base = tmp_path / "base.json"
+        good = tmp_path / "good.json"
+        bad = tmp_path / "bad.json"
+        base.write_text(json.dumps(self._fake_record(speedup=4.0)))
+        good.write_text(json.dumps(self._fake_record(speedup=3.5)))
+        bad.write_text(json.dumps(self._fake_record(speedup=1.0)))
+        assert main(["bench", "diff", "--baseline", str(base),
+                     "--current", str(good)]) == 0
+        assert main(["bench", "diff", "--baseline", str(base),
+                     "--current", str(bad)]) == 2
+        capsys.readouterr()
+        assert main(["bench", "diff"]) == 2
+        assert "--baseline is required" in capsys.readouterr().err
+
+    def test_committed_baseline_matches_quick_suite_shape(self):
+        from repro.bench import BENCH_SCHEMA, QUICK_SUITE
+        with open("baselines/bench-baseline.json") as f:
+            rec = json.load(f)
+        assert rec["schema"] == BENCH_SCHEMA
+        expect = {f"{name}:{mode}" for name, _ in QUICK_SUITE
+                  for mode in ("cured", "raw")}
+        assert set(rec["cells"]) == expect
+        for cell in rec["cells"].values():
+            assert cell["tree"]["steps"] == cell["closures"]["steps"]
+            assert cell["tree"]["cycles"] \
+                == cell["closures"]["cycles"]

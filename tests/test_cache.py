@@ -207,3 +207,32 @@ def test_concurrent_writers_race_benignly(fresh_cache):
     # parse + the lint cure (provenance on) + the default cure
     assert s.entries == 3
     assert s.stores >= 3
+
+
+def test_hit_rate_pct(fresh_cache):
+    from repro.cache.store import CacheStats
+    assert CacheStats().hit_rate_pct is None        # never asked
+    assert CacheStats(hits=3, misses=1).hit_rate_pct == 75.0
+    assert CacheStats(hits=0, misses=4).hit_rate_pct == 0.0
+    s = CacheStats(hits=1, misses=2)
+    assert s.to_json()["hit_rate_pct"] == s.hit_rate_pct
+
+
+def test_cli_cache_stats_reports_hit_rate(fresh_cache, capsys):
+    import json as _json
+
+    from repro.cli import main
+    w = get("olden_power")
+    pristine_cure(w)                                 # miss + store
+    clear_program_cache()
+    pristine_cure(w)                                 # hit
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "hit rate" in out and "cross-process" in out
+    assert "session" in out
+    assert main(["cache", "stats", "--json", "-"]) == 0
+    payload = _json.loads(capsys.readouterr().out)
+    assert payload["hit_rate_pct"] is not None
+    assert 0.0 <= payload["hit_rate_pct"] <= 100.0
+    assert payload["session"]["hit_rate_pct"] is None \
+        or 0.0 <= payload["session"]["hit_rate_pct"] <= 100.0

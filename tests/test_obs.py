@@ -318,3 +318,80 @@ class TestMetricsCLI:
         # without the gate flag, regressions exit 1
         assert main(["metrics", "diff", "--baseline", base,
                      "--current", str(regressed)]) == 1
+
+
+class TestCrossProcessSpans:
+    """PR 10: pid/tid on records, the wall-clock wire format, and
+    multi-process Chrome trace lanes."""
+
+    def test_records_carry_pid_and_tid(self):
+        import os
+        import threading
+        t = Tracer()
+        with t.capture() as records:
+            with t.span("parse"):
+                pass
+        assert records[0].pid == os.getpid()
+        assert records[0].tid == threading.get_native_id()
+
+    def test_wire_round_trip_rebases_onto_anchor(self):
+        from repro.obs.tracer import spans_from_wire, spans_to_wire
+        t = Tracer()
+        with t.capture() as records:
+            with t.span("cure", name="w"):
+                pass
+        wire = spans_to_wire(records, t)
+        # rebasing onto the producing tracer's own epoch must
+        # reproduce the original relative starts (within fp noise)
+        back = spans_from_wire(wire, t.epoch_wall())
+        assert len(back) == 1
+        assert back[0].name == "cure"
+        assert back[0].attrs == {"name": "w"}
+        assert back[0].pid == records[0].pid
+        assert back[0].tid == records[0].tid
+        assert abs(back[0].start - records[0].start) < 0.05
+        assert back[0].duration == records[0].duration
+
+    def test_wire_tolerates_legacy_records(self):
+        from repro.obs.tracer import SpanRecord, spans_from_wire
+        back = spans_from_wire(
+            [{"name": "exec", "depth": 0, "wall": 12.5,
+              "duration": 0.25}], epoch_wall=10.0)
+        assert back == [SpanRecord("exec", 0, 2.5, 0.25, {}, 0, 0)]
+
+    def test_chrome_trace_renders_one_lane_per_process(self):
+        import os
+        from repro.obs.tracer import SpanRecord, chrome_trace
+        here = os.getpid()
+        records = [
+            SpanRecord("dispatch", 0, 0.0, 1.0, {}, here, 7),
+            SpanRecord("shard", 0, 0.1, 0.4, {}, 4242, 9),
+            SpanRecord("cure", 1, 0.2, 0.2, {}, 4242, 9),
+            SpanRecord("shard", 0, 0.1, 0.4, {}, 4243, 11),
+        ]
+        doc = chrome_trace(records)
+        metas = [e for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        by_pid = {m["pid"]: m["args"]["name"] for m in metas}
+        assert set(by_pid) == {here, 4242, 4243}
+        assert by_pid[here] == "repro"
+        assert by_pid[4242] == "repro worker 4242"
+        # the exporting process sorts first
+        sort = {e["pid"]: e["args"]["sort_index"]
+                for e in doc["traceEvents"]
+                if e["ph"] == "M"
+                and e["name"] == "process_sort_index"}
+        assert sort[here] == 0
+        # X events land on their recording pid/tid lane
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {(e["pid"], e["tid"]) for e in xs} \
+            == {(here, 7), (4242, 9), (4243, 11)}
+
+    def test_chrome_trace_single_process_keeps_plain_label(self):
+        import os
+        from repro.obs.tracer import SpanRecord, chrome_trace
+        doc = chrome_trace([SpanRecord("parse", 0, 0.0, 0.1, {},
+                                       os.getpid(), 3)])
+        metas = [e for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert [m["args"]["name"] for m in metas] == ["repro"]

@@ -168,3 +168,187 @@ def test_cli_sweep_and_cache_stats(tmp_path, capsys):
     stats = json.loads(capsys.readouterr().out)
     assert stats["enabled"] in (True, False)
     assert stats["entries"] >= 0
+
+
+# -- PR 10: cross-process span capture ---------------------------------------
+
+
+def test_run_sharded_span_sink_merges_worker_spans():
+    from repro.sweep import run_sharded
+    tasks = [("lint", {"name": w.name, "optimize": "flow",
+                       "scale": None}) for w in SOME]
+    sink: list = []
+    import os
+    plain = run_sharded(tasks, 2)
+    traced = run_sharded(tasks, 2, span_sink=sink)
+    # tracing never changes results
+    assert [r.to_json() for r in traced] \
+        == [r.to_json() for r in plain]
+    pids = {r.pid for r in sink}
+    assert len(pids) >= 2 and os.getpid() not in pids
+    # one shard span per task, tagged with its workload (pipeline
+    # spans inside vary with cache warmth; the boundary never does)
+    shard_tags = {r.attrs.get("workload") for r in sink
+                  if r.name == "shard"}
+    assert shard_tags == {w.name for w in SOME}
+
+
+def test_run_sharded_span_sink_serial_path():
+    from repro.sweep import run_sharded
+    import os
+    sink: list = []
+    run_sharded([("analyze", {"name": SOME[0].name,
+                              "scale": None})], 1, span_sink=sink)
+    assert sink and {r.pid for r in sink} == {os.getpid()}
+    assert "shard" in {r.name for r in sink}
+
+
+def test_run_sharded_under_spawn_context(monkeypatch):
+    """Worker span capture under the spawn start method: fresh
+    interpreters must import repro (the PYTHONPATH fallback), capture
+    spans, and merge byte-identically to the serial path."""
+    from repro.sweep import run_sharded
+    monkeypatch.setenv("REPRO_MP_START", "spawn")
+    tasks = [("lint", {"name": w.name, "optimize": "flow",
+                       "scale": None}) for w in SOME[:2]]
+    sink: list = []
+    pooled = run_sharded(tasks, 2, span_sink=sink)
+    monkeypatch.delenv("REPRO_MP_START")
+    serial = run_sharded(tasks, 1)
+    assert [r.to_json() for r in pooled] \
+        == [r.to_json() for r in serial]
+    import os
+    pids = {r.pid for r in sink}
+    assert pids and os.getpid() not in pids
+
+
+def test_mp_context_env_override(monkeypatch):
+    from repro.sweep.runner import _mp_context
+    monkeypatch.setenv("REPRO_MP_START", "spawn")
+    assert _mp_context().get_start_method() == "spawn"
+    monkeypatch.setenv("REPRO_MP_START", "no-such-method")
+    assert _mp_context().get_start_method() in ("fork", "spawn")
+
+
+def test_ensure_child_path_exports_repro_dir(monkeypatch):
+    import os
+    import repro
+    from repro.sweep.runner import _ensure_child_path
+    src = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    monkeypatch.delenv("PYTHONPATH", raising=False)
+    _ensure_child_path()
+    assert os.environ["PYTHONPATH"].split(os.pathsep)[0] == src
+    # idempotent: a second call does not duplicate the entry
+    _ensure_child_path()
+    assert os.environ["PYTHONPATH"].split(os.pathsep).count(src) == 1
+
+
+def test_sharded_metrics_traced_output_byte_identical():
+    """The satellite guarantee: enabling tracing changes nothing
+    about the report bytes, sharded or serial."""
+    from repro.bench.harness import clear_program_cache
+    ws = SOME[:3]
+    sink: list = []
+    plain = sharded_metrics(ws, jobs=1)
+    # cold in-process memos: the forked workers must really cure (the
+    # disk cache answers, emitting cache spans), so the trace shows
+    # the per-shard pipeline — while the report bytes cannot move
+    clear_program_cache()
+    traced = sharded_metrics(ws, jobs=2, trace=sink)
+    assert stable_dumps(plain.to_json()) \
+        == stable_dumps(traced.to_json())
+    names = {r.name for r in sink}
+    assert {"shard", "cure", "exec", "cache"} <= names
+    events = {r.attrs.get("event") for r in sink
+              if r.name == "cache"}
+    assert events & {"hit", "miss"}
+
+
+def test_run_sweep_trace_merges_dispatch_and_workers(tmp_path):
+    trace: list = []
+    summary = run_sweep(targets=("lint",), jobs=2, trace=trace)
+    assert summary.ok
+    names = {r.name for r in trace}
+    assert "dispatch" in names and "shard" in names
+    assert len({r.pid for r in trace}) >= 3  # parent + 2 workers
+
+
+def test_cli_sweep_trace_chrome_file(tmp_path, capsys):
+    trace = tmp_path / "sweep-trace.json"
+    assert main(["sweep", "--targets", "lint", "--jobs", "2",
+                 "--quiet", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    doc = json.loads(trace.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    xs = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    assert len({e["pid"] for e in xs}) >= 3
+    assert {e["name"] for e in xs} >= {"dispatch", "shard"}
+    lanes = [e for e in doc["traceEvents"]
+             if e.get("ph") == "M" and e["name"] == "process_name"]
+    assert sum("worker" in m["args"]["name"] for m in lanes) >= 2
+
+
+# -- PR 10: the --progress line ----------------------------------------------
+
+
+class _FakeTTY:
+    def __init__(self):
+        self.text = ""
+
+    def write(self, s):
+        self.text += s
+
+    def flush(self):
+        pass
+
+    def isatty(self):
+        return True
+
+
+def test_progress_line_draws_only_on_tty():
+    from repro.sweep import ProgressLine
+    import io
+    plain = io.StringIO()          # not a TTY -> silent
+    pl = ProgressLine(4, stream=plain)
+    pl.tick()
+    pl.close()
+    assert plain.getvalue() == ""
+    tty = _FakeTTY()
+    pl = ProgressLine(4, stream=tty)
+    pl.tick("ignored message")
+    pl.tick()
+    pl.close()
+    assert "[2/4 shards]" in tty.text
+    assert "elapsed" in tty.text
+    assert tty.text.endswith("\n")
+
+
+def test_progress_line_clamps_overshoot():
+    from repro.sweep import ProgressLine
+    tty = _FakeTTY()
+    pl = ProgressLine(2, stream=tty)
+    for _ in range(5):
+        pl.tick()
+    pl.close()
+    assert "[2/2 shards]" in tty.text
+    assert "[5/2" not in tty.text
+
+
+def test_cli_progress_never_contaminates_stdout(capsys):
+    """--progress with non-TTY stderr (the capsys case) must leave
+    stdout parseable JSON and stderr empty of progress bytes."""
+    names = ",".join(w.name for w in SOME[:2])
+    assert main(["metrics", "--workload", names, "--jobs", "2",
+                 "--progress", "--json", "-"]) == 0
+    out, err = capsys.readouterr()
+    json.loads(out)                      # stdout is pure JSON
+    assert "\r" not in out and "shards]" not in out
+    assert "shards]" not in err          # non-TTY stderr: suppressed
+    assert main(["sweep", "--targets", "lint", "--jobs", "2",
+                 "--progress", "--json", "-", "--quiet"]) == 0
+    out, err = capsys.readouterr()
+    # --json - interleaves with the summary table; the JSON document
+    # comes first and must be uncontaminated
+    assert "\r" not in out and "shards]" not in out
+    assert "shards]" not in err
